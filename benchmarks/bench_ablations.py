@@ -1,0 +1,196 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+Not paper figures — these probe the sensitivity of the design:
+
+* threads-per-node sweep (1..32) for HAEE: compute time vs. coordination
+  overhead vs. per-node memory,
+* ghost-zone (halo) sweep: extra bytes read vs. communication avoided,
+* Lustre stripe-count sweep: what striping does to the RCA parallel
+  read (the property that makes comm-avoiding beat a merged file),
+* storage tier: disk Lustre vs. burst buffer on the small-request-heavy
+  pure-MPI pattern.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arrayudf import apply_mt, partition_rows
+from repro.arrayudf.engine import HybridEngine, MPIEngine, WorkloadSpec
+from repro.cluster import burst_buffer_cori, cori_haswell
+from repro.cluster.storage import BurstBufferModel, IORequest, StorageModel
+from repro.storage.model import model_rca_read
+
+WORKLOAD = WorkloadSpec(
+    total_bytes=int(1.9 * 2**40),
+    n_files=2880,
+    master_bytes=30000 * 1440 * 2 * 8,
+)
+
+
+def test_ablation_threads_sweep(benchmark, report):
+    benchmark.pedantic(_threads_sweep, args=(report,), rounds=1, iterations=1)
+
+
+def _threads_sweep(report):
+    nodes = 364
+    cluster = cori_haswell(nodes)
+    lines = [
+        "Ablation - HAEE threads per node (364 nodes, 1.9 TB)",
+        "",
+        f"{'threads':>8} {'compute(s)':>11} {'peak mem/node':>15} {'status':>8}",
+    ]
+    previous = None
+    for threads in (1, 2, 4, 8, 16, 32):
+        engine = HybridEngine(cluster, nodes, threads_per_rank=threads)
+        result = engine.estimate(WORKLOAD)
+        if result.failed:
+            lines.append(f"{threads:>8} {'-':>11} {'-':>15} {'OOM':>8}")
+            continue
+        lines.append(
+            f"{threads:>8} {result.compute_time:>11.2f} "
+            f"{result.peak_node_bytes / 2**30:>13.1f}GB {'ok':>8}"
+        )
+        if previous is not None and previous.failed is None:
+            # More threads always help compute, sub-linearly.
+            assert result.compute_time < previous.compute_time
+            ideal = previous.compute_time / (threads / previous.threads_per_rank)
+            assert result.compute_time >= ideal * 0.999
+        previous = result
+    lines += ["", "compute scales with threads but pays coordination overhead;",
+              "memory grows with per-thread working sets."]
+    report("ablation_threads", lines)
+
+
+def test_ablation_halo_sweep(benchmark, report):
+    benchmark.pedantic(_halo_sweep, args=(report,), rounds=1, iterations=1)
+
+
+def _halo_sweep(report):
+    rows, cols, ranks = 512, 2048, 16
+    total = rows * cols * 4
+    lines = [
+        "Ablation - ghost zone (halo) size, 16 ranks over a 512x2048 array",
+        "",
+        f"{'halo':>6} {'extra bytes read':>17} {'overhead %':>11}",
+    ]
+    for halo in (0, 1, 2, 4, 8, 16, 32):
+        read = sum(
+            partition_rows((rows, cols), ranks, r, halo=halo).read_nbytes(4)
+            for r in range(ranks)
+        )
+        extra = read - total
+        lines.append(f"{halo:>6} {extra:>17,} {100.0 * extra / total:>10.2f}%")
+        # Halo cost: at most 2*halo rows per rank, linear growth.
+        assert extra <= 2 * halo * ranks * cols * 4
+    lines += ["", "ghost zones trade a linear-in-halo read overhead for zero",
+              "neighbour communication during Apply (paper SS II-B)."]
+    report("ablation_halo", lines)
+
+    # Correctness across halos: a +-2-row stencil with halo>=2 must match
+    # the single-block reference everywhere, including rank boundaries.
+    data = np.random.default_rng(0).normal(size=(48, 64))
+    udf = lambda s: s(-2, 0) + s(2, 0)  # noqa: E731
+    padded = np.pad(data, ((2, 2), (0, 0)), mode="edge")
+    expected = padded[:-4, :] + padded[4:, :]
+    pieces = []
+    for r in range(4):
+        part = partition_rows(data.shape, 4, r, halo=2)
+        block = data[part.read_row_lo : part.read_row_hi]
+        out = apply_mt(
+            block,
+            udf,
+            threads=2,
+            core_rows=(part.core_offset, part.core_offset + part.core_rows),
+            boundary="clamp",
+        )
+        pieces.append(out)
+    np.testing.assert_allclose(np.concatenate(pieces, axis=0), expected)
+
+
+def test_ablation_stripe_sweep(benchmark, report):
+    benchmark.pedantic(_stripe_sweep, args=(report,), rounds=1, iterations=1)
+
+
+def _stripe_sweep(report):
+    p = 90
+    total = 2880 * 700 * 2**20
+    lines = [
+        "Ablation - Lustre stripe count of the merged RCA (90 readers, 2 TB)",
+        "",
+        f"{'stripes':>8} {'RCA read(s)':>12}",
+    ]
+    times = {}
+    for stripes in (1, 2, 4, 8, 16, 32, 64, 128, 248):
+        base = cori_haswell(p)
+        storage = StorageModel(
+            ost_count=base.storage.ost_count,
+            ost_bandwidth=base.storage.ost_bandwidth,
+            client_bandwidth=base.storage.client_bandwidth,
+            open_overhead=base.storage.open_overhead,
+            per_request_overhead=base.storage.per_request_overhead,
+            default_stripe_count=stripes,
+        )
+        cluster = base.with_nodes(p)
+        cluster = type(cluster)(
+            nodes=cluster.nodes,
+            node=cluster.node,
+            network=cluster.network,
+            storage=storage,
+            name=cluster.name,
+            core_flops=cluster.core_flops,
+        )
+        t = model_rca_read(cluster, p, total).total
+        times[stripes] = t
+        lines.append(f"{stripes:>8} {t:>12.1f}")
+    # Wider striping monotonically improves the shared-file read.
+    ordered = [times[s] for s in (1, 2, 4, 8, 16, 32, 64)]
+    assert all(a >= b for a, b in zip(ordered, ordered[1:]))
+    lines += ["", "a single merged file is only as parallel as its stripe",
+              "count - the reason file-per-process reads (comm-avoiding)",
+              "outrun the RCA despite identical byte counts."]
+    report("ablation_stripes", lines)
+
+
+def test_ablation_storage_tier(benchmark, report):
+    benchmark.pedantic(_storage_tier, args=(report,), rounds=1, iterations=1)
+
+
+def _storage_tier(report):
+    """Disk vs burst buffer under the request-heavy pure-MPI pattern."""
+    nodes = 728
+    lines = [
+        "Ablation - storage tier under pure-MPI ArrayUDF I/O (728 nodes)",
+        "",
+        f"{'tier':<16} {'read(s)':>9}",
+    ]
+    results = {}
+    for name, cluster in (
+        ("disk lustre", cori_haswell(nodes)),
+        ("burst buffer", burst_buffer_cori(nodes)),
+    ):
+        engine = MPIEngine(cluster, nodes, ranks_per_node=16)
+        result = engine.estimate(WORKLOAD)
+        results[name] = result.read_time
+        lines.append(f"{name:<16} {result.read_time:>9.1f}")
+    assert results["burst buffer"] < results["disk lustre"] / 3
+    lines += ["", "the paper's SS VI-E remedy: the burst buffer's IOPS headroom",
+              "absorbs the 33M small requests that swamp the disk system."]
+    report("ablation_storage_tier", lines)
+
+
+def test_ablation_applymt_thread_correctness(benchmark):
+    """Real ApplyMT across thread counts on this machine (single core:
+    we verify identical results and report, not assert, timing)."""
+    data = np.random.default_rng(1).normal(size=(64, 256))
+    udf = lambda s: (s(0, -1) + s(0, 0) + s(0, 1)) / 3  # noqa: E731
+
+    def sweep():
+        outputs = [
+            apply_mt(data, udf, threads=t, boundary="clamp") for t in (1, 2, 4, 8)
+        ]
+        for out in outputs[1:]:
+            np.testing.assert_allclose(out, outputs[0])
+        return outputs[0]
+
+    result = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    assert result.shape == data.shape

@@ -1,0 +1,93 @@
+"""Fig. 10 — events detected by local similarity (Algorithm 2).
+
+Paper result: the local-similarity map of the 6-minute record makes it
+"possible to distinguish two moving vehicles and a M4.4 earthquake" plus
+a persistent vibrating zone.
+
+Here the Fig. 1b scene is synthesised, the similarity map computed with
+the vectorised Algorithm 2 kernel (benchmark), and the detector must
+recover all three event kinds with sensible geometry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detection import detect_events
+from repro.core.local_similarity import (
+    LocalSimilarityConfig,
+    local_similarity_block,
+)
+from repro.synthetic import fig1b_scene, synthesize_scene
+
+FS = 50.0
+CHANNELS = 96
+MINUTES = 6
+SPM = int(60 * FS)
+CONFIG = LocalSimilarityConfig(half_window=50, channel_offset=1, half_lag=5, stride=100)
+
+
+@pytest.fixture(scope="module")
+def scene_data():
+    scene = fig1b_scene(
+        n_channels=CHANNELS, fs=FS, minutes=MINUTES, samples_per_minute=SPM
+    )
+    return synthesize_scene(scene, MINUTES, samples_per_minute=SPM)
+
+
+def test_fig10_similarity_kernel_benchmark(benchmark, scene_data):
+    simi, centers = benchmark.pedantic(
+        local_similarity_block, args=(scene_data, CONFIG), rounds=3, iterations=1
+    )
+    assert simi.shape[0] == CHANNELS - 2
+
+
+def test_fig10_detection(benchmark, scene_data, report):
+    benchmark.pedantic(
+        _fig10_detection, args=(scene_data, report), rounds=1, iterations=1
+    )
+
+
+def _fig10_detection(scene_data, report):
+    simi, centers = local_similarity_block(scene_data, CONFIG)
+    events = detect_events(
+        simi,
+        centers,
+        fs=FS,
+        threshold_sigmas=3.0,
+        min_vehicle_speed=0.1,
+        remove_channel_bias=True,
+        split_array_wide=True,
+    )
+    lines = [
+        "Fig. 10 - events detected with local similarity (Algorithm 2)",
+        f"scene: {MINUTES} min x {CHANNELS} channels at {FS:.0f} Hz "
+        "(2 vehicles + M4.4-style earthquake + persistent vibration)",
+        "",
+        f"{'kind':<14} {'channels':<12} {'time (s)':<18} {'peak':<7} {'speed (ch/s)'}",
+    ]
+    for ev in events:
+        lines.append(
+            f"{ev.kind:<14} {ev.channel_lo}-{ev.channel_hi:<10} "
+            f"{ev.t_start:7.1f}-{ev.t_end:<9.1f} {ev.peak_similarity:<7.2f} "
+            f"{ev.speed_channels_per_s:+.2f}"
+        )
+
+    kinds = {ev.kind for ev in events}
+    lines += ["", f"recovered kinds: {sorted(kinds)} (paper: vehicles, earthquake"
+              " + persistent vibrating visible)"]
+    report("fig10_local_similarity", lines)
+
+    # The paper's claim: all three phenomena are distinguishable.
+    assert "earthquake" in kinds
+    assert "vehicle" in kinds
+    assert "persistent" in kinds
+    vehicles = [e for e in events if e.kind == "vehicle"]
+    assert len(vehicles) >= 2
+    # The two cars travel in opposite directions in the scene.
+    slopes = sorted(v.speed_channels_per_s for v in vehicles)
+    assert slopes[0] < 0 < slopes[-1]
+    # The earthquake hits (nearly) the whole array around 0.55 T.
+    quake = next(e for e in events if e.kind == "earthquake")
+    assert quake.channel_span > 0.8 * simi.shape[0]
+    total_seconds = MINUTES * SPM / FS
+    assert abs(quake.t_start - 0.55 * total_seconds) < 0.1 * total_seconds

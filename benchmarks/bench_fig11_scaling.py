@@ -1,0 +1,113 @@
+"""Fig. 11 — strong and weak scaling of DASSA, 91 → 1456 nodes.
+
+Paper result (8 threads/node, DASSA's comm-avoiding storage engine):
+~100 % parallel efficiency for compute in both strong (1.9 TB fixed) and
+weak (171 MB/core) settings; I/O efficiency trends downward as more
+nodes issue more requests against a fixed set of Lustre OSTs; the best
+overall efficiency lands near 364 nodes.  A burst-buffer storage tier
+(higher IOPS) flattens the decay (§VI-E's remedy) — included as the
+ablation the paper discusses.
+"""
+
+import pytest
+
+from repro.arrayudf.engine import HybridEngine, WorkloadSpec
+from repro.cluster import burst_buffer_cori, cori_haswell
+
+NODES = (91, 182, 364, 728, 1456)
+THREADS = 8
+STRONG = WorkloadSpec(
+    total_bytes=int(1.9 * 2**40),
+    n_files=2880,
+    master_bytes=30000 * 1440 * 2 * 8,
+)
+
+
+def weak_workload(nodes: int) -> WorkloadSpec:
+    per_core = 171 * 2**20
+    total = per_core * nodes * THREADS
+    return WorkloadSpec(
+        total_bytes=total,
+        n_files=max(1, total // (700 * 2**20)),
+        master_bytes=STRONG.master_bytes,
+    )
+
+
+def _scaling_rows(make_cluster):
+    """Per-node-count (compute, io) times for strong and weak settings."""
+    rows = {}
+    for nodes in NODES:
+        cluster = make_cluster(nodes)
+        engine = HybridEngine(cluster, nodes, threads_per_rank=THREADS)
+        strong = engine.estimate(STRONG, read_pattern="comm-avoiding")
+        weak = engine.estimate(weak_workload(nodes), read_pattern="comm-avoiding")
+        assert strong.failed is None and weak.failed is None
+        rows[nodes] = {
+            "strong": (strong.compute_time, strong.read_time + strong.write_time),
+            "weak": (weak.compute_time, weak.read_time + weak.write_time),
+        }
+    return rows
+
+
+def efficiencies(rows, mode):
+    base_nodes = NODES[0]
+    base_compute, base_io = rows[base_nodes][mode]
+    out = {}
+    for nodes in NODES:
+        compute, io = rows[nodes][mode]
+        if mode == "strong":
+            scale = nodes / base_nodes
+            out[nodes] = (
+                100.0 * base_compute / (compute * scale),
+                100.0 * base_io / (io * scale),
+            )
+        else:
+            out[nodes] = (100.0 * base_compute / compute, 100.0 * base_io / io)
+    return out
+
+
+def test_fig11_estimate_benchmark(benchmark):
+    rows = benchmark.pedantic(_scaling_rows, args=(cori_haswell,), rounds=3, iterations=1)
+    assert set(rows) == set(NODES)
+
+
+def test_fig11_table(benchmark, report):
+    benchmark.pedantic(_fig11_table, args=(report,), rounds=1, iterations=1)
+
+
+def _fig11_table(report):
+    rows = _scaling_rows(cori_haswell)
+    bb_rows = _scaling_rows(burst_buffer_cori)
+    lines = [
+        "Fig. 11 - DASSA scaling, 8 threads/node (parallel efficiency %)",
+        "",
+        f"{'nodes':>6} | {'strong comp':>11} {'strong I/O':>10} | "
+        f"{'weak comp':>9} {'weak I/O':>8} | {'weak I/O (BB)':>13}",
+    ]
+    strong_eff = efficiencies(rows, "strong")
+    weak_eff = efficiencies(rows, "weak")
+    bb_weak_eff = efficiencies(bb_rows, "weak")
+    for nodes in NODES:
+        lines.append(
+            f"{nodes:>6} | {strong_eff[nodes][0]:>11.1f} {strong_eff[nodes][1]:>10.1f} | "
+            f"{weak_eff[nodes][0]:>9.1f} {weak_eff[nodes][1]:>8.1f} | "
+            f"{bb_weak_eff[nodes][1]:>13.1f}"
+        )
+
+    lines += [
+        "",
+        "paper: compute efficiency ~100%; I/O efficiency trends downward;",
+        "       364 nodes gives the best efficiency; a Burst Buffer",
+        "       (higher IOPS) addresses the I/O downtrend.",
+    ]
+    report("fig11_scaling", lines)
+
+    # Compute efficiency ~100% at every scale, both settings.
+    for nodes in NODES:
+        assert strong_eff[nodes][0] == pytest.approx(100.0, abs=2.0)
+        assert weak_eff[nodes][0] == pytest.approx(100.0, abs=2.0)
+    # I/O efficiency decays monotonically toward the largest scales.
+    assert strong_eff[1456][1] < strong_eff[364][1] <= 110.0
+    assert weak_eff[1456][1] < weak_eff[91][1] + 1e-9
+    # The burst buffer flattens the weak-scaling I/O decay.
+    assert bb_weak_eff[1456][1] > weak_eff[1456][1]

@@ -1,0 +1,103 @@
+"""Fig. 6 — search + merge (RCA vs VCA construction).
+
+Paper result (2880 files): search <= 0.002 s; VCA create <= 0.01 s; RCA
+create up to 9978 s; VCA construction ~70,000x faster than RCA on
+average.  Here: real wall times at 48 scaled files, plus the machine-
+model projection at the paper's scale.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster import cori_haswell
+from repro.storage.model import (
+    model_rca_create,
+    model_search,
+    model_vca_create,
+)
+from repro.storage.rca import create_rca
+from repro.storage.search import das_search, scan_directory
+from repro.storage.vca import create_vca
+
+
+@pytest.fixture(scope="module")
+def catalog(scaled_dataset):
+    return scan_directory(scaled_dataset["dir"])
+
+
+def test_fig6_search_benchmark(benchmark, scaled_dataset, catalog):
+    """das_search (type-1 range query) over the scaled catalog."""
+    result = benchmark(das_search, catalog, start="170620100545", count=24)
+    assert len(result) == 24
+
+
+def test_fig6_vca_create_benchmark(benchmark, tmp_path, scaled_dataset, catalog):
+    counter = iter(range(10**6))
+
+    def build():
+        return create_vca(
+            str(tmp_path / f"v{next(counter)}.h5"), catalog, assume_uniform=True
+        )
+
+    benchmark.pedantic(build, rounds=5, iterations=1)
+
+
+def test_fig6_rca_create_benchmark(benchmark, tmp_path, scaled_dataset, catalog):
+    counter = iter(range(10**6))
+
+    def build():
+        return create_rca(str(tmp_path / f"r{next(counter)}.h5"), catalog)
+
+    benchmark.pedantic(build, rounds=3, iterations=1)
+
+
+def test_fig6_table(benchmark, tmp_path, scaled_dataset, catalog, report):
+    """The reproduced Fig. 6 rows: measured (scaled) + projected (paper)."""
+    benchmark.pedantic(
+        _fig6_table, args=(tmp_path, catalog, report), rounds=1, iterations=1
+    )
+
+
+def _fig6_table(tmp_path, catalog, report):
+    lines = ["Fig. 6 - search and merge", ""]
+
+    # --- measured at scaled size (48 files, ~150 KB each) -------------
+    t0 = time.perf_counter()
+    hits = das_search(catalog, start="170620100545", count=48)
+    t_search = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    create_vca(str(tmp_path / "fig6_v.h5"), hits, assume_uniform=True)
+    t_vca = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    create_rca(str(tmp_path / "fig6_r.h5"), hits)
+    t_rca = time.perf_counter() - t0
+    lines += [
+        "measured (48 scaled files):",
+        f"  search      : {t_search * 1e3:9.3f} ms",
+        f"  VCA create  : {t_vca * 1e3:9.3f} ms",
+        f"  RCA create  : {t_rca * 1e3:9.3f} ms",
+        f"  RCA/VCA     : {t_rca / t_vca:9.1f}x",
+        "",
+    ]
+    assert t_vca < t_rca
+
+    # --- projected at paper scale (2880 x 700 MB files on Cori) -------
+    cluster = cori_haswell()
+    lines.append("projected at paper scale (2880 x 700 MB files):")
+    lines.append(f"{'files':>6} {'search(s)':>10} {'VCA(s)':>8} {'RCA(s)':>9} {'RCA/VCA':>9}")
+    for n in (90, 360, 720, 1440, 2880):
+        t_s = model_search(cluster, n)
+        t_v = model_vca_create(cluster, n)
+        t_r = model_rca_create(cluster, n, 700 * 2**20)
+        lines.append(f"{n:>6} {t_s:>10.4f} {t_v:>8.3f} {t_r:>9.1f} {t_r / t_v:>9.0f}")
+        assert t_s <= 0.002 + 1e-9
+        assert t_r / t_v > 1000
+    t_rca_full = model_rca_create(cluster, 2880, 700 * 2**20)
+    lines += [
+        "",
+        f"paper: search <= 0.002 s, VCA <= 0.01 s, RCA up to 9978 s",
+        f"model: RCA(2880) = {t_rca_full:.0f} s",
+    ]
+    assert 1000 < t_rca_full < 30000
+    report("fig6_search_merge", lines)

@@ -1,0 +1,73 @@
+"""Shared benchmark fixtures.
+
+Benchmarks execute real code at scaled-down sizes (this is a single-core
+machine) and, where the paper's result is a large-scale property, also
+evaluate the machine model at paper scale.  Every bench writes its
+reproduced table/figure rows to ``benchmarks/results/`` so the numbers
+survive pytest's output capture.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.storage.dasfile import das_filename, write_das_file
+from repro.storage.metadata import DASMetadata, timestamp_add_seconds
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """Write (and echo) a named result table."""
+
+    def _write(name: str, lines: list[str]) -> str:
+        path = os.path.join(results_dir, f"{name}.txt")
+        text = "\n".join(lines) + "\n"
+        with open(path, "w") as fh:
+            fh.write(text)
+        print(f"\n[{name}]")
+        print(text)
+        return path
+
+    return _write
+
+
+def make_das_dir(root, n_files=48, channels=64, spm=600, fs=10.0, seed=1):
+    """A scaled acquisition directory: n_files one-minute files."""
+    rng = np.random.default_rng(seed)
+    directory = os.path.join(str(root), "das")
+    os.makedirs(directory, exist_ok=True)
+    stamp = "170620100545"
+    paths = []
+    for _ in range(n_files):
+        data = rng.normal(size=(channels, spm)).astype(np.float32)
+        write_das_file(
+            os.path.join(directory, das_filename(stamp)),
+            data,
+            DASMetadata(
+                sampling_frequency=fs,
+                spatial_resolution=2.0,
+                timestamp=stamp,
+                n_channels=channels,
+            ),
+            channel_groups=False,
+        )
+        paths.append(os.path.join(directory, das_filename(stamp)))
+        stamp = timestamp_add_seconds(stamp, spm / fs)
+    return directory, paths
+
+
+@pytest.fixture(scope="session")
+def scaled_dataset(tmp_path_factory):
+    """48 scaled one-minute files (64 channels x 600 samples)."""
+    root = tmp_path_factory.mktemp("bench-data")
+    directory, paths = make_das_dir(root)
+    return {"dir": directory, "paths": paths, "channels": 64, "spm": 600}

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Earthquake detection via local similarity (paper Algorithm 2, Fig. 10).
+
+Synthesises the paper's Fig. 1b scene — ambient noise, two moving
+vehicles, one M4.4-style earthquake, and a persistent vibration zone —
+then computes the local-similarity map and picks events.
+
+Run:  python examples/earthquake_detection.py
+"""
+
+import numpy as np
+
+from repro.core.detection import detect_events
+from repro.core.local_similarity import LocalSimilarityConfig, local_similarity_block
+from repro.synthetic import fig1b_scene, synthesize_scene
+
+FS = 50.0
+CHANNELS = 96
+MINUTES = 6
+SPM = int(60 * FS)  # samples per "minute" file
+
+
+def ascii_map(simi: np.ndarray, rows: int = 20, cols: int = 64) -> str:
+    """A terminal rendering of the similarity map (Fig. 10 in ASCII)."""
+    shades = " .:-=+*#%@"
+    r_idx = np.linspace(0, simi.shape[0] - 1, rows).astype(int)
+    c_idx = np.linspace(0, simi.shape[1] - 1, cols).astype(int)
+    small = simi[np.ix_(r_idx, c_idx)]
+    lo, hi = small.min(), small.max()
+    scaled = (small - lo) / (hi - lo + 1e-12)
+    lines = []
+    for row in scaled:
+        lines.append("".join(shades[int(v * (len(shades) - 1))] for v in row))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(f"synthesising {MINUTES} minutes x {CHANNELS} channels at {FS} Hz ...")
+    scene = fig1b_scene(n_channels=CHANNELS, fs=FS, minutes=MINUTES, samples_per_minute=SPM)
+    data = synthesize_scene(scene, MINUTES, samples_per_minute=SPM)
+
+    config = LocalSimilarityConfig(half_window=50, channel_offset=1, half_lag=5, stride=100)
+    print("computing local similarity (Algorithm 2) ...")
+    simi, centers = local_similarity_block(data, config)
+
+    print("\nlocal-similarity map (channels down, time across):")
+    print(ascii_map(simi))
+
+    events = detect_events(
+        simi,
+        centers,
+        fs=FS,
+        threshold_sigmas=3.0,
+        min_vehicle_speed=0.1,
+        remove_channel_bias=True,
+        split_array_wide=True,
+    )
+    print(f"\ndetected {len(events)} events:")
+    print(f"{'kind':<12} {'channels':<12} {'time (s)':<16} {'peak':<6} {'speed (ch/s)'}")
+    for ev in events:
+        print(
+            f"{ev.kind:<12} {ev.channel_lo}-{ev.channel_hi:<10} "
+            f"{ev.t_start:6.1f}-{ev.t_end:<8.1f} {ev.peak_similarity:<6.2f} "
+            f"{ev.speed_channels_per_s:+.2f}"
+        )
+
+    kinds = {ev.kind for ev in events}
+    print("\nexpected (paper Fig. 10): two vehicles, one earthquake, one "
+          "persistent vibration zone")
+    print(f"recovered kinds: {sorted(kinds)}")
+
+
+if __name__ == "__main__":
+    main()

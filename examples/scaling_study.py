@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Scaling study: the paper's Fig. 8 and Fig. 11 experiments, evaluated
+against the Cori machine model.
+
+Prints (a) pure-MPI ArrayUDF vs the Hybrid engine at 91-728 nodes over
+the 1.9 TB workload, including the 91-node OOM; (b) strong/weak-scaling
+parallel efficiency at 91-1456 nodes.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.arrayudf.engine import HybridEngine, MPIEngine, WorkloadSpec
+from repro.cluster import cori_haswell
+
+WORKLOAD = WorkloadSpec(
+    total_bytes=int(1.9 * 2**40),
+    n_files=2880,
+    master_bytes=30000 * 1440 * 2 * 8,
+)
+
+
+def fig8() -> None:
+    print("=== Fig. 8: MPI ArrayUDF (16 ranks/node) vs HAEE (16 threads/node) ===")
+    header = f"{'nodes':>6} {'engine':<16} {'read(s)':>9} {'compute(s)':>11} {'write(s)':>9} {'total(s)':>9}"
+    print(header)
+    for nodes in (91, 182, 364, 728):
+        cluster = cori_haswell(nodes)
+        for engine in (
+            MPIEngine(cluster, nodes, ranks_per_node=16),
+            HybridEngine(cluster, nodes, threads_per_rank=16),
+        ):
+            report = engine.estimate(WORKLOAD)
+            if report.failed:
+                print(f"{nodes:>6} {engine.name:<16} {'-- ' + report.failed}")
+            else:
+                print(
+                    f"{nodes:>6} {engine.name:<16} {report.read_time:>9.1f} "
+                    f"{report.compute_time:>11.1f} {report.write_time:>9.1f} "
+                    f"{report.total_time:>9.1f}"
+                )
+    print()
+
+
+def fig11() -> None:
+    print("=== Fig. 11: strong & weak scaling, 8 threads/node ===")
+    nodes_list = (91, 182, 364, 728, 1456)
+
+    def efficiency(report0, n0, report, n, strong: bool) -> tuple[float, float]:
+        if strong:
+            compute = report0.compute_time / (report.compute_time * (n / n0))
+            io = (report0.read_time + report0.write_time) / (
+                (report.read_time + report.write_time) * (n / n0)
+            )
+        else:
+            compute = report0.compute_time / report.compute_time
+            io = (report0.read_time + report0.write_time) / (
+                report.read_time + report.write_time
+            )
+        return compute * 100, io * 100
+
+    for strong in (True, False):
+        label = "strong (1.9 TB fixed)" if strong else "weak (171 MB/core)"
+        print(f"-- {label}")
+        print(f"{'nodes':>6} {'compute eff %':>14} {'I/O eff %':>11}")
+        base = None
+        for nodes in nodes_list:
+            cluster = cori_haswell(nodes)
+            engine = HybridEngine(cluster, nodes, threads_per_rank=8)
+            if strong:
+                workload = WORKLOAD
+            else:
+                per_core = 171 * 2**20
+                workload = WorkloadSpec(
+                    total_bytes=per_core * nodes * 8,
+                    n_files=max(1, per_core * nodes * 8 // (700 * 2**20)),
+                    master_bytes=WORKLOAD.master_bytes,
+                )
+            report = engine.estimate(workload)
+            if base is None:
+                base = (report, nodes)
+                print(f"{nodes:>6} {'100.0':>14} {'100.0':>11}")
+            else:
+                comp, io = efficiency(base[0], base[1], report, nodes, strong)
+                print(f"{nodes:>6} {comp:>14.1f} {io:>11.1f}")
+        print()
+
+
+if __name__ == "__main__":
+    fig8()
+    fig11()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Velocity profiling: the full interferometry science chain.
+
+The end product of the traffic-noise application (paper §V-C) is a
+shear-wave velocity estimate of the shallow subsurface.  This example
+runs the complete chain on synthetic ambient noise:
+
+    noise field → windowed NCFs (the 3-D stacking array of §IV)
+                → linear + phase-weighted stacks
+                → arrival picks → moveout fit → velocity
+
+Run:  python examples/velocity_profiling.py
+"""
+
+import numpy as np
+
+from repro.core.interferometry import InterferometryConfig
+from repro.core.stacking import (
+    linear_stack,
+    phase_weighted_stack,
+    stack_snr,
+    window_ncfs,
+)
+from repro.core.velocity import fit_moveout
+
+FS = 100.0
+CHANNELS = 20
+SPACING = 2.0  # metres
+TRUE_VELOCITY = 60.0  # m/s
+MINUTES = 5.0
+
+
+def build_noise_field(rng: np.random.Generator) -> np.ndarray:
+    n = int(MINUTES * 60 * FS)
+    common = rng.normal(size=n)
+    rows = []
+    for channel in range(CHANNELS):
+        delay = int(round(channel * SPACING / TRUE_VELOCITY * FS))
+        rows.append(np.roll(common, delay) + 0.8 * rng.normal(size=n))
+    return np.stack(rows)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    print(f"synthesising {MINUTES:.0f} min of noise on {CHANNELS} channels "
+          f"(true velocity {TRUE_VELOCITY:.0f} m/s) ...")
+    data = build_noise_field(rng)
+
+    config = InterferometryConfig(fs=FS, band=(1.0, 12.0), resample_q=2)
+    print("windowed correlation (30 s windows, 50% overlap) ...")
+    lags, ncfs = window_ncfs(
+        data, config, window_seconds=30.0, overlap=0.5, max_lag_seconds=2.0
+    )
+    print(f"3-D stacking array: {ncfs.shape} (windows x channels x lags)")
+
+    linear = linear_stack(ncfs)
+    pws = phase_weighted_stack(ncfs)
+    window = (0.0, CHANNELS * SPACING / TRUE_VELOCITY + 0.3)
+    snr_linear = stack_snr(linear, lags, window)[1:].mean()
+    snr_pws = stack_snr(pws, lags, window)[1:].mean()
+    snr_single = stack_snr(ncfs[0], lags, window)[1:].mean()
+    print(f"SNR: single window {snr_single:.1f}  linear stack {snr_linear:.1f}  "
+          f"phase-weighted {snr_pws:.1f}")
+
+    print("\nmoveout fit (distance vs picked arrival):")
+    for name, stacked in (("linear", linear), ("phase-weighted", pws)):
+        fit = fit_moveout(stacked, lags, channel_spacing=SPACING, min_distance=2.0)
+        error = 100 * abs(fit.velocity - TRUE_VELOCITY) / TRUE_VELOCITY
+        print(f"  {name:<15} v = {fit.velocity:6.1f} m/s  "
+              f"(true {TRUE_VELOCITY:.0f}, err {error:.1f}%, R² = {fit.r_squared:.3f})")
+
+    fit = fit_moveout(pws, lags, channel_spacing=SPACING, min_distance=2.0)
+    print("\nper-channel picks (phase-weighted stack):")
+    print(f"{'channel':>8} {'distance (m)':>13} {'pick (s)':>9} {'expected (s)':>13}")
+    for channel in range(1, CHANNELS, 4):
+        print(f"{channel:>8} {fit.distances[channel]:>13.0f} "
+              f"{fit.picks[channel]:>9.3f} "
+              f"{fit.distances[channel] / TRUE_VELOCITY:>13.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires the PEP 517 build_editable hook, which needs
+`wheel`; on offline machines without it, run `python setup.py develop`
+instead (all metadata lives in pyproject.toml / here).
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    entry_points={
+        "console_scripts": [
+            "das_search = repro.storage.cli:main",
+            "das_generate = repro.synthetic.cli:main",
+            "das_inspect = repro.hdf5lite.cli:main",
+            "das_analyze = repro.core.cli:main",
+        ]
+    },
+)

@@ -1,0 +1,36 @@
+"""ArrayUDF — structural-locality UDF execution on distributed arrays.
+
+Reimplements the authors' prior system (HPDC'17) that DASSA extends:
+
+* :class:`~repro.arrayudf.stencil.Stencil` — a cell plus its
+  neighbourhood, the argument every user-defined function receives,
+* :mod:`repro.arrayudf.partition` — block partitioning with ghost zones
+  so UDFs touching neighbours need no communication,
+* :func:`~repro.arrayudf.apply.apply` — the MPI-parallel ``B =
+  Apply(A, f)`` operator,
+* :func:`~repro.arrayudf.apply_mt.apply_mt` — the multithreaded Apply of
+  DASSA's Hybrid ArrayUDF Execution Engine (Algorithm 1),
+* :class:`~repro.arrayudf.engine.HybridEngine` — HAEE: one rank per
+  node + threads, versus :class:`~repro.arrayudf.engine.MPIEngine`:
+  one rank per core (the Fig. 8 comparison).
+"""
+
+from repro.arrayudf.apply import apply
+from repro.arrayudf.apply_mt import apply_mt
+from repro.arrayudf.engine import EngineReport, HybridEngine, MPIEngine
+from repro.arrayudf.ghost import exchange_halos
+from repro.arrayudf.partition import Partition, partition_1d, partition_rows
+from repro.arrayudf.stencil import Stencil
+
+__all__ = [
+    "Stencil",
+    "Partition",
+    "partition_1d",
+    "partition_rows",
+    "apply",
+    "apply_mt",
+    "exchange_halos",
+    "MPIEngine",
+    "HybridEngine",
+    "EngineReport",
+]

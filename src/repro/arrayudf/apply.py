@@ -1,0 +1,64 @@
+"""The ``Apply`` operator: run a UDF over every (strided) cell of a block.
+
+This is the single-threaded building block; MPI parallelism comes from
+partitioning the global array into per-rank blocks (the engine's job),
+and node-level threading from :func:`repro.arrayudf.apply_mt.apply_mt`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.arrayudf.stencil import Stencil
+from repro.errors import UDFError
+
+
+def cell_grid(
+    block_shape: tuple[int, int],
+    core_rows: tuple[int, int] | None = None,
+    core_cols: tuple[int, int] | None = None,
+    row_stride: int = 1,
+    col_stride: int = 1,
+) -> tuple[range, range]:
+    """The (row, col) index ranges of the cells a UDF runs on."""
+    rows, cols = block_shape
+    r_lo, r_hi = core_rows if core_rows is not None else (0, rows)
+    c_lo, c_hi = core_cols if core_cols is not None else (0, cols)
+    if not (0 <= r_lo <= r_hi <= rows and 0 <= c_lo <= c_hi <= cols):
+        raise UDFError(
+            f"core region ({core_rows}, {core_cols}) outside block {block_shape}"
+        )
+    if row_stride < 1 or col_stride < 1:
+        raise UDFError("strides must be >= 1")
+    return range(r_lo, r_hi, row_stride), range(c_lo, c_hi, col_stride)
+
+
+def apply(
+    block: np.ndarray,
+    udf: Callable[[Stencil], float],
+    core_rows: tuple[int, int] | None = None,
+    core_cols: tuple[int, int] | None = None,
+    row_stride: int = 1,
+    col_stride: int = 1,
+    boundary: str = "error",
+    dtype: object = np.float64,
+) -> np.ndarray:
+    """Sequentially apply ``udf`` to each cell of the core region.
+
+    Returns an array of shape ``(len(row_cells), len(col_cells))``.  The
+    UDF receives a :class:`Stencil` centred on each cell; with strides,
+    cells are sampled every ``row_stride``/``col_stride`` positions —
+    how DASSA runs windowed operations (one output per window, not per
+    sample).
+    """
+    block = np.asarray(block)
+    row_cells, col_cells = cell_grid(
+        block.shape, core_rows, core_cols, row_stride, col_stride
+    )
+    out = np.empty((len(row_cells), len(col_cells)), dtype=dtype)
+    for i, row in enumerate(row_cells):
+        for j, col in enumerate(col_cells):
+            out[i, j] = udf(Stencil(block, row, col, boundary=boundary))
+    return out

@@ -1,0 +1,81 @@
+"""Compute-model calibration.
+
+Estimate-mode results convert samples to seconds through
+:class:`~repro.arrayudf.engine.ComputeModel`.  Rather than inventing
+``seconds_per_sample``, this module *measures* it: run the actual kernel
+on a real block on this machine and scale by the ratio of a reference
+core's throughput to this machine's (both measured with the same
+numpy-heavy probe).  The paper's own methodology is the same in spirit —
+its absolute times come from Cori runs; ours come from calibrated local
+runs projected onto the Cori model.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.arrayudf.engine import ComputeModel
+from repro.errors import ConfigError
+
+
+def measure_seconds_per_sample(
+    kernel: Callable[[np.ndarray], object],
+    block: np.ndarray,
+    repeats: int = 3,
+) -> float:
+    """Wall-time of ``kernel(block)`` per input sample (best of N)."""
+    if repeats < 1:
+        raise ConfigError("repeats must be >= 1")
+    block = np.asarray(block)
+    if block.size == 0:
+        raise ConfigError("cannot calibrate on an empty block")
+    kernel(block)  # warm-up (allocations, plan caches)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        kernel(block)
+        best = min(best, time.perf_counter() - t0)
+    return best / block.size
+
+
+def machine_speed_probe(n: int = 2**18, repeats: int = 3) -> float:
+    """Throughput of a numpy-heavy probe (samples/second) on this host.
+
+    Used to translate kernel timings between machines: the same probe on
+    the reference machine defines the scale.
+    """
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=n)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        spectrum = np.fft.rfft(x)
+        y = np.fft.irfft(spectrum * np.conj(spectrum), n)
+        float(y.sum())
+        best = min(best, time.perf_counter() - t0)
+    return n / best
+
+
+def calibrate(
+    kernel: Callable[[np.ndarray], object],
+    block: np.ndarray,
+    target_speed: float | None = None,
+    thread_coordination: float = 0.03,
+    repeats: int = 3,
+) -> ComputeModel:
+    """Build a :class:`ComputeModel` from a measured kernel.
+
+    ``target_speed`` is the probe throughput of the machine being
+    modelled (e.g. a Cori Haswell core); when given, the measured
+    per-sample cost is rescaled by ``local_speed / target_speed`` so the
+    model speaks in target-machine seconds.
+    """
+    sps = measure_seconds_per_sample(kernel, block, repeats=repeats)
+    if target_speed is not None:
+        if target_speed <= 0:
+            raise ConfigError("target_speed must be positive")
+        sps *= machine_speed_probe() / target_speed
+    return ComputeModel(seconds_per_sample=sps, thread_coordination=thread_coordination)

@@ -1,0 +1,90 @@
+"""Ghost-zone construction by neighbour exchange.
+
+ArrayUDF "can build a ghost zone for each data block to avoid
+communication during the execution" (paper §II-B).  There are two ways
+to fill the halo:
+
+* **read it** — each rank's storage read covers ``halo`` extra rows
+  (what :func:`repro.arrayudf.partition.partition_rows` plans), costing
+  extra I/O but zero messages;
+* **exchange it** — ranks read only their core rows and then swap edge
+  rows with their neighbours (this module), costing two small messages
+  but no redundant reads.
+
+For DAS workloads the halo (a few channels) is tiny compared to the
+block, so DASSA reads it; the exchange path exists for workloads with
+deep stencils, and the ablation bench quantifies the crossover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import UDFError
+from repro.simmpi.communicator import Communicator
+
+
+def exchange_halos(
+    comm: Communicator, core_block: np.ndarray, halo: int
+) -> tuple[np.ndarray, int]:
+    """Swap edge rows with rank neighbours; returns ``(padded, offset)``.
+
+    ``core_block`` is this rank's core rows (no halo).  The result is the
+    block extended by up to ``halo`` rows of neighbour data on each
+    side; ``offset`` is the index of the first core row inside it (0 for
+    rank 0, ``halo`` otherwise).  Edge ranks get no phantom rows — the
+    caller's boundary policy handles the array ends, exactly as with
+    read-in halos.
+
+    Deadlock-free schedule: even ranks send first, odd ranks receive
+    first.
+    """
+    if halo < 0:
+        raise UDFError("halo must be >= 0")
+    core_block = np.asarray(core_block)
+    if core_block.ndim != 2:
+        raise UDFError("halo exchange requires a 2-D block")
+    if halo > 0 and comm.size > 1 and core_block.shape[0] < halo:
+        raise UDFError(
+            f"core block of {core_block.shape[0]} rows cannot donate a "
+            f"halo of {halo}"
+        )
+    if halo == 0 or comm.size == 1:
+        return core_block, 0
+
+    up = comm.rank - 1 if comm.rank > 0 else None
+    down = comm.rank + 1 if comm.rank < comm.size - 1 else None
+    tag_down, tag_up = 71, 72
+
+    from_up = None
+    from_down = None
+
+    def send_edges() -> None:
+        if down is not None:
+            comm.send(np.ascontiguousarray(core_block[-halo:]), down, tag_down)
+        if up is not None:
+            comm.send(np.ascontiguousarray(core_block[:halo]), up, tag_up)
+
+    def recv_edges() -> None:
+        nonlocal from_up, from_down
+        if up is not None:
+            from_up = comm.recv(up, tag_down)
+        if down is not None:
+            from_down = comm.recv(down, tag_up)
+
+    if comm.rank % 2 == 0:
+        send_edges()
+        recv_edges()
+    else:
+        recv_edges()
+        send_edges()
+
+    parts = []
+    offset = 0
+    if from_up is not None:
+        parts.append(np.asarray(from_up))
+        offset = halo
+    parts.append(core_block)
+    if from_down is not None:
+        parts.append(np.asarray(from_down))
+    return np.concatenate(parts, axis=0), offset

@@ -1,0 +1,121 @@
+"""The Stencil abstraction (paper §II-B).
+
+A ``Stencil`` represents one logical cell of a 2-D array together with
+its neighbourhood.  UDFs access neighbours by offset::
+
+    def three_point_average(S):
+        return (S(0, -1) + S(0, 0) + S(0, 1)) / 3
+
+and windows by inclusive offset ranges, matching the paper's
+``S(-M:M, 0)`` notation::
+
+    window = S.window((-M, M), 0)          # the paper's S(-M:M, 0)
+    left   = S.window((l - M, l + M), -K)  # Algorithm 2's W1/W2
+
+The stencil never copies the underlying block; windows are numpy views.
+Out-of-range accesses follow the configured boundary policy ("error"
+for strict ghost-zone semantics, "clamp" to repeat edge values, "zero"
+to zero-fill).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import UDFError
+
+_BOUNDARIES = ("error", "clamp", "zero")
+
+
+class Stencil:
+    """One cell (``row``, ``col``) of a 2-D block, with neighbourhood access.
+
+    ``row``/``col`` index into ``block`` directly; engines position the
+    stencil so that the cell plus the declared halo stay inside the block
+    (that is what ghost zones are for).
+    """
+
+    __slots__ = ("block", "row", "col", "boundary")
+
+    def __init__(
+        self, block: np.ndarray, row: int, col: int, boundary: str = "error"
+    ):
+        if block.ndim != 2:
+            raise UDFError("Stencil requires a 2-D block")
+        if boundary not in _BOUNDARIES:
+            raise UDFError(f"unknown boundary policy {boundary!r}")
+        self.block = block
+        self.row = row
+        self.col = col
+        self.boundary = boundary
+
+    # -- scalar access -----------------------------------------------------------
+    def __call__(self, row_offset: int, col_offset: int = 0) -> float:
+        """Value at ``(row + row_offset, col + col_offset)``."""
+        r = self.row + row_offset
+        c = self.col + col_offset
+        rows, cols = self.block.shape
+        if 0 <= r < rows and 0 <= c < cols:
+            return self.block[r, c]
+        if self.boundary == "error":
+            raise UDFError(
+                f"stencil access ({row_offset}, {col_offset}) at cell "
+                f"({self.row}, {self.col}) leaves the block {self.block.shape}; "
+                "declare a larger halo"
+            )
+        if self.boundary == "zero":
+            return 0.0
+        r = min(max(r, 0), rows - 1)
+        c = min(max(c, 0), cols - 1)
+        return self.block[r, c]
+
+    # -- window access ------------------------------------------------------------
+    def window(
+        self,
+        row_range: tuple[int, int] | int,
+        col_range: tuple[int, int] | int = 0,
+    ) -> np.ndarray:
+        """Inclusive offset-range access, the paper's ``S(a:b, c:d)``.
+
+        Each argument is either a single offset or an inclusive
+        ``(low, high)`` offset pair.  Returns a view when the window lies
+        inside the block; boundary policies "clamp"/"zero" return padded
+        copies.
+        """
+        r_lo, r_hi = (row_range, row_range) if isinstance(row_range, int) else row_range
+        c_lo, c_hi = (col_range, col_range) if isinstance(col_range, int) else col_range
+        if r_lo > r_hi or c_lo > c_hi:
+            raise UDFError(f"empty window range ({row_range}, {col_range})")
+        rows, cols = self.block.shape
+        r0, r1 = self.row + r_lo, self.row + r_hi
+        c0, c1 = self.col + c_lo, self.col + c_hi
+        if 0 <= r0 and r1 < rows and 0 <= c0 and c1 < cols:
+            view = self.block[r0 : r1 + 1, c0 : c1 + 1]
+            return view[0] if r0 == r1 else (view[:, 0] if c0 == c1 else view)
+        if self.boundary == "error":
+            raise UDFError(
+                f"stencil window ({row_range}, {col_range}) at cell "
+                f"({self.row}, {self.col}) leaves the block {self.block.shape}; "
+                "declare a larger halo"
+            )
+        out = np.zeros((r1 - r0 + 1, c1 - c0 + 1), dtype=self.block.dtype)
+        rr = np.arange(r0, r1 + 1)
+        cc = np.arange(c0, c1 + 1)
+        if self.boundary == "clamp":
+            src = self.block[np.clip(rr, 0, rows - 1)[:, None], np.clip(cc, 0, cols - 1)[None, :]]
+            out[:, :] = src
+        else:  # zero
+            r_in = (rr >= 0) & (rr < rows)
+            c_in = (cc >= 0) & (cc < cols)
+            out[np.ix_(r_in, c_in)] = self.block[rr[r_in][:, None], cc[c_in][None, :]]
+        return out[0] if r0 == r1 else (out[:, 0] if c0 == c1 else out)
+
+    def value(self) -> float:
+        """The cell's own value (the paper's ``S(0)``)."""
+        return self.block[self.row, self.col]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Stencil cell=({self.row}, {self.col}) "
+            f"block={self.block.shape} boundary={self.boundary!r}>"
+        )

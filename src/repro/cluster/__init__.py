@@ -1,0 +1,34 @@
+"""Machine model of an HPC system (a stand-in for NERSC Cori).
+
+The paper's performance results are driven by a handful of first-order
+machine properties:
+
+* network point-to-point latency/bandwidth and tree-structured collectives
+  (the "broadcast per file" cost of collective-per-file I/O),
+* a parallel file system with a constant per-open overhead, an aggregate
+  IOPS budget, and an aggregate bandwidth shared by all clients
+  (the "IOPS pressure" and contention arguments),
+* per-node memory (the pure-MPI master-channel duplication OOM of Fig. 8).
+
+This package models exactly those properties.  Functional code runs for
+real; *times* are computed by these models so the paper's 91–1456-node
+experiments can be reproduced on a single core.
+"""
+
+from repro.cluster.machine import ClusterSpec, NodeSpec
+from repro.cluster.memory import MemoryTracker
+from repro.cluster.network import NetworkModel
+from repro.cluster.presets import burst_buffer_cori, cori_haswell, laptop
+from repro.cluster.storage import IORequest, StorageModel
+
+__all__ = [
+    "NodeSpec",
+    "ClusterSpec",
+    "NetworkModel",
+    "StorageModel",
+    "IORequest",
+    "MemoryTracker",
+    "cori_haswell",
+    "burst_buffer_cori",
+    "laptop",
+]

@@ -1,0 +1,69 @@
+"""Cluster presets.
+
+``cori_haswell`` approximates the machine the paper evaluated on: a Cray
+XC40 with 2880 Haswell nodes (32 cores, 128 GB each), an Aries dragonfly
+interconnect, and a disk-based Lustre file system (~248 OSTs on Cori's
+scratch).  ``burst_buffer_cori`` swaps storage for the Cray DataWarp
+burst buffer tier (§VI-E's suggested fix for the decaying I/O
+efficiency).  ``laptop`` is a tiny machine for unit tests.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import ClusterSpec, NodeSpec
+from repro.cluster.network import NetworkModel
+from repro.cluster.storage import BurstBufferModel, StorageModel
+
+
+def cori_haswell(nodes: int = 2880) -> ClusterSpec:
+    """The Cori Haswell partition at a given allocation size."""
+    return ClusterSpec(
+        nodes=nodes,
+        node=NodeSpec(cores=32, memory=128 * 2**30),
+        network=NetworkModel(
+            latency=1.5e-6,
+            bandwidth=8.0e9,
+            intra_latency=3.0e-7,
+            intra_bandwidth=4.0e10,
+        ),
+        storage=StorageModel(
+            ost_count=248,
+            ost_bandwidth=2.0e9,
+            client_bandwidth=1.6e9,
+            open_overhead=4.0e-3,
+            per_request_overhead=0.8e-3,
+        ),
+        name="cori-haswell",
+        core_flops=2.3e9,
+    )
+
+
+def burst_buffer_cori(nodes: int = 2880) -> ClusterSpec:
+    """Cori with the DataWarp burst buffer as the storage tier."""
+    spec = cori_haswell(nodes)
+    return ClusterSpec(
+        nodes=spec.nodes,
+        node=spec.node,
+        network=spec.network,
+        storage=BurstBufferModel(),
+        name="cori-haswell-bb",
+        core_flops=spec.core_flops,
+    )
+
+
+def laptop(nodes: int = 1, cores: int = 4) -> ClusterSpec:
+    """A small machine for tests: fast open, tiny memory."""
+    return ClusterSpec(
+        nodes=nodes,
+        node=NodeSpec(cores=cores, memory=8 * 2**30),
+        network=NetworkModel(),
+        storage=StorageModel(
+            ost_count=1,
+            ost_bandwidth=1.0e9,
+            client_bandwidth=1.0e9,
+            open_overhead=1.0e-3,
+            per_request_overhead=1.0e-4,
+        ),
+        name="laptop",
+        core_flops=2.0e9,
+    )

@@ -1,0 +1,66 @@
+"""DASSA core — the framework facade and the two case-study pipelines.
+
+* :mod:`repro.core.local_similarity` — earthquake detection via local
+  similarity (paper Algorithm 2, after Li et al. 2018),
+* :mod:`repro.core.interferometry` — traffic-noise / ambient-noise
+  interferometry (paper Algorithm 3, after Dou et al. 2017),
+* :mod:`repro.core.detection` — event picking and classification on
+  similarity maps (the Fig. 10 analysis),
+* :mod:`repro.core.baseline` — the MATLAB-style serial pipeline DASSA is
+  compared against in Fig. 9,
+* :mod:`repro.core.framework` — the ``DASSA`` facade: search → merge →
+  analyse in three calls (the paper's future-work "Python API").
+"""
+
+from repro.core.detection import DetectedEvent, detect_events
+from repro.core.framework import DASSA
+from repro.core.interferometry import (
+    InterferometryConfig,
+    interferometry_block,
+    traffic_noise_udf,
+)
+from repro.core.local_similarity import (
+    LocalSimilarityConfig,
+    local_similarity_block,
+    local_similarity_udf,
+)
+from repro.core.stacking import (
+    linear_stack,
+    phase_weighted_stack,
+    stack_snr,
+    window_ncfs,
+)
+from repro.core.stalta import (
+    array_detections,
+    classic_sta_lta,
+    recursive_sta_lta,
+    trigger_onset,
+)
+from repro.core.planner import PlanOption, best_plan, plan
+from repro.core.velocity import VelocityFit, fit_moveout, pick_arrivals
+
+__all__ = [
+    "DASSA",
+    "LocalSimilarityConfig",
+    "local_similarity_block",
+    "local_similarity_udf",
+    "InterferometryConfig",
+    "interferometry_block",
+    "traffic_noise_udf",
+    "DetectedEvent",
+    "detect_events",
+    "window_ncfs",
+    "linear_stack",
+    "phase_weighted_stack",
+    "stack_snr",
+    "classic_sta_lta",
+    "recursive_sta_lta",
+    "trigger_onset",
+    "array_detections",
+    "VelocityFit",
+    "fit_moveout",
+    "pick_arrivals",
+    "plan",
+    "best_plan",
+    "PlanOption",
+]

@@ -1,0 +1,193 @@
+"""The DASSA facade — search, merge, and analyse in a few calls.
+
+The paper lists "an API in Python ... to enable interactive DAS data
+analysis" as future work; this class is that API::
+
+    dassa = DASSA(workdir="scratch/")
+    files = dassa.search("data/", start="170620100545", count=6)
+    vca = dassa.merge(files)                       # VCA by default
+    simi, centers = dassa.local_similarity(vca)    # Algorithm 2
+    events = dassa.detect(simi, centers)
+    corr = dassa.interferometry(vca)               # Algorithm 3
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.machine import ClusterSpec
+from repro.cluster.presets import laptop
+from repro.core.detection import DetectedEvent, detect_events
+from repro.core.interferometry import (
+    InterferometryConfig,
+    interferometry_block,
+    master_spectrum,
+    noise_correlation_functions,
+)
+from repro.core.local_similarity import (
+    LocalSimilarityConfig,
+    local_similarity_block,
+)
+from repro.errors import ConfigError, StorageError
+from repro.storage.rca import create_rca
+from repro.storage.search import DASFileInfo, das_search
+from repro.storage.vca import VCAHandle, create_vca, open_vca
+
+
+@dataclass
+class DASSAConfig:
+    """Framework-level knobs."""
+
+    cluster: ClusterSpec = field(default_factory=laptop)
+    threads: int = 4
+    workdir: str | None = None
+
+
+class DASSA:
+    """One entry point tying DASS (storage) and DASA (analysis) together."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec | None = None,
+        threads: int = 4,
+        workdir: str | os.PathLike | None = None,
+    ):
+        if threads < 1:
+            raise ConfigError("threads must be >= 1")
+        self.config = DASSAConfig(
+            cluster=cluster if cluster is not None else laptop(),
+            threads=threads,
+            workdir=os.fspath(workdir) if workdir is not None else None,
+        )
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+
+    # -- storage side --------------------------------------------------------------
+    def search(
+        self,
+        directory: str | os.PathLike,
+        start: str | None = None,
+        count: int | None = None,
+        pattern: str | None = None,
+    ) -> list[DASFileInfo]:
+        """``das_search``: type-1 (start/count) or type-2 (regex) query."""
+        return das_search(directory, start=start, count=count, pattern=pattern)
+
+    def _workdir(self) -> str:
+        if self.config.workdir is not None:
+            os.makedirs(self.config.workdir, exist_ok=True)
+            return self.config.workdir
+        if self._tmpdir is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="dassa-")
+        return self._tmpdir.name
+
+    def merge(
+        self,
+        files: list[DASFileInfo | str],
+        out_path: str | None = None,
+        real: bool = False,
+        assume_uniform: bool = False,
+    ) -> str:
+        """Merge files into a VCA (default) or an RCA (``real=True``)."""
+        if not files:
+            raise StorageError("no files to merge")
+        if out_path is None:
+            kind = "rca" if real else "vca"
+            out_path = os.path.join(self._workdir(), f"merged_{kind}.h5")
+        if real:
+            return create_rca(out_path, files)
+        return create_vca(out_path, files, assume_uniform=assume_uniform)
+
+    def search_and_merge(
+        self,
+        directory: str | os.PathLike,
+        start: str | None = None,
+        count: int | None = None,
+        pattern: str | None = None,
+        real: bool = False,
+    ) -> str:
+        """One-shot: query then merge the hits."""
+        hits = self.search(directory, start=start, count=count, pattern=pattern)
+        if not hits:
+            raise StorageError("search matched no files")
+        return self.merge(hits, real=real)
+
+    @staticmethod
+    def _load(source: str | np.ndarray | VCAHandle) -> tuple[np.ndarray, float]:
+        """Materialise a source and find its sampling rate."""
+        if isinstance(source, np.ndarray):
+            return np.asarray(source, dtype=np.float64), 0.0
+        if isinstance(source, VCAHandle):
+            return np.asarray(source.dataset.read(), dtype=np.float64), (
+                source.metadata.sampling_frequency
+            )
+        with open_vca(source) as vca:
+            return (
+                np.asarray(vca.dataset.read(), dtype=np.float64),
+                vca.metadata.sampling_frequency,
+            )
+
+    # -- analysis side -------------------------------------------------------------
+    def local_similarity(
+        self,
+        source: str | np.ndarray | VCAHandle,
+        config: LocalSimilarityConfig | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Algorithm 2 over a VCA path / handle / array.
+
+        Returns ``(similarity_map, window_centers)``; the map covers
+        channels K..C-K (array edges have no ±K neighbours).
+        """
+        data, _ = self._load(source)
+        config = config if config is not None else LocalSimilarityConfig()
+        return local_similarity_block(data, config)
+
+    def detect(
+        self,
+        similarity: np.ndarray,
+        centers: np.ndarray,
+        fs: float,
+        **kwargs,
+    ) -> list[DetectedEvent]:
+        """Pick and classify events on a similarity map."""
+        return detect_events(similarity, centers, fs, **kwargs)
+
+    def interferometry(
+        self,
+        source: str | np.ndarray | VCAHandle,
+        config: InterferometryConfig | None = None,
+    ) -> np.ndarray:
+        """Algorithm 3: per-channel correlation against the master channel."""
+        data, fs = self._load(source)
+        if config is None:
+            config = InterferometryConfig(fs=fs if fs > 0 else 500.0)
+        mfft = master_spectrum(
+            data[config.master_channel : config.master_channel + 1], config
+        )
+        return interferometry_block(data, config, master_fft=mfft)
+
+    def noise_correlations(
+        self,
+        source: str | np.ndarray | VCAHandle,
+        config: InterferometryConfig | None = None,
+        max_lag_seconds: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Time-domain noise correlation functions (virtual shot gather)."""
+        data, fs = self._load(source)
+        if config is None:
+            config = InterferometryConfig(fs=fs if fs > 0 else 500.0)
+        return noise_correlation_functions(data, config, max_lag_seconds)
+
+    def close(self) -> None:
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def __enter__(self) -> "DASSA":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

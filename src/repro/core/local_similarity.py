@@ -1,0 +1,150 @@
+"""Earthquake detection via local similarity (paper Algorithm 2).
+
+For each channel and each time window, local similarity measures how
+well the window correlates with the best-aligned window on each
+neighbouring channel (±K channels, over ±L lags), averaging the two
+sides:
+
+    LS(c, t) = ( max_l |corr(W(c,t), W(c+K, t+l))|
+               + max_l |corr(W(c,t), W(c-K, t+l))| ) / 2
+
+Coherent signals (earthquake wavefronts, passing cars) light up; channel-
+local noise does not.  Two implementations:
+
+* :func:`local_similarity_udf` — the literal Algorithm 2 as an ArrayUDF
+  user-defined function over a :class:`~repro.arrayudf.stencil.Stencil`,
+* :func:`local_similarity_block` — a vectorised batch kernel computing
+  the same map ~100x faster (what the engines call in production).
+
+Tests assert the two agree exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.arrayudf.stencil import Stencil
+from repro.daslib.correlate import abscorr
+from repro.daslib.moving import sliding_windows
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LocalSimilarityConfig:
+    """Algorithm 2 parameters.
+
+    ``half_window`` is the paper's M (window width 2M+1); ``channel_offset``
+    is K (neighbour distance); ``half_lag`` is L (2L+1 candidate
+    alignments); ``stride`` is the hop between window centres (the paper
+    samples a window per output cell; stride M keeps ~50 % overlap).
+    """
+
+    half_window: int = 25
+    channel_offset: int = 1
+    half_lag: int = 5
+    stride: int = 25
+
+    def __post_init__(self) -> None:
+        if self.half_window < 1 or self.half_lag < 0:
+            raise ConfigError("need half_window >= 1 and half_lag >= 0")
+        if self.channel_offset < 1:
+            raise ConfigError("channel_offset (K) must be >= 1")
+        if self.stride < 1:
+            raise ConfigError("stride must be >= 1")
+
+    @property
+    def window_len(self) -> int:
+        return 2 * self.half_window + 1
+
+    @property
+    def time_halo(self) -> int:
+        """Samples of time context a window centre needs on each side."""
+        return self.half_window + self.half_lag
+
+    @property
+    def channel_halo(self) -> int:
+        return self.channel_offset
+
+    def centers(self, n_samples: int) -> np.ndarray:
+        """Valid window-centre sample indices for a series of length n."""
+        lo = self.time_halo
+        hi = n_samples - self.time_halo
+        if hi <= lo:
+            return np.zeros(0, dtype=int)
+        return np.arange(lo, hi, self.stride)
+
+
+def local_similarity_udf(
+    config: LocalSimilarityConfig,
+) -> Callable[[Stencil], float]:
+    """Algorithm 2, transcribed: the UDF DASSA hands to ApplyMT."""
+    M = config.half_window
+    K = config.channel_offset
+    L = config.half_lag
+
+    def LocalSimi(S: Stencil) -> float:
+        W = S.window((0, 0), (-M, M))  # current window via S
+        c_plus = 0.0
+        c_minus = 0.0
+        for lag in range(-L, L + 1):
+            W1 = S.window(+K, (lag - M, lag + M))
+            W2 = S.window(-K, (lag - M, lag + M))
+            c_plus = max(c_plus, float(abscorr(W, W1)))
+            c_minus = max(c_minus, float(abscorr(W, W2)))
+        return 0.5 * (c_plus + c_minus)
+
+    return LocalSimi
+
+
+def local_similarity_block(
+    data: np.ndarray,
+    config: LocalSimilarityConfig,
+    channel_range: tuple[int, int] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised local-similarity map.
+
+    Returns ``(similarity, centers)`` where ``similarity`` has shape
+    ``(channels_evaluated, len(centers))`` and ``channel_range`` bounds
+    the evaluated channels (default: all channels with both ±K
+    neighbours in the block).  Channels at the array edge are skipped
+    exactly as the ghost-zone engine would.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ConfigError("local similarity needs a 2-D (channels, time) block")
+    n_channels, n_samples = data.shape
+    K = config.channel_offset
+    c_lo, c_hi = channel_range if channel_range is not None else (K, n_channels - K)
+    if not (0 <= c_lo - K and c_hi + K <= n_channels and c_lo <= c_hi):
+        raise ConfigError(
+            f"channel range ({c_lo}, {c_hi}) ±{K} outside block of {n_channels}"
+        )
+    centers = config.centers(n_samples)
+    if len(centers) == 0 or c_hi == c_lo:
+        return np.zeros((max(0, c_hi - c_lo), len(centers))), centers
+
+    wlen = config.window_len
+    M = config.half_window
+    # All windows, every start position: (channels, n_samples - wlen + 1, wlen)
+    windows = sliding_windows(data, wlen, axis=-1)
+    norms = np.sqrt(np.einsum("ctw,ctw->ct", windows, windows))
+
+    start = centers - M  # window start index per centre
+    ref = windows[c_lo:c_hi][:, start]  # (C_eval, n_centers, wlen)
+    ref_norm = norms[c_lo:c_hi][:, start]
+
+    best_plus = np.zeros(ref.shape[:2])
+    best_minus = np.zeros(ref.shape[:2])
+    for lag in range(-config.half_lag, config.half_lag + 1):
+        shifted = start + lag
+        for sign, best in ((+1, best_plus), (-1, best_minus)):
+            neigh = windows[c_lo + sign * K : c_hi + sign * K][:, shifted]
+            dots = np.abs(np.einsum("ctw,ctw->ct", ref, neigh))
+            denom = ref_norm * norms[c_lo + sign * K : c_hi + sign * K][:, shifted]
+            with np.errstate(invalid="ignore", divide="ignore"):
+                corr = np.where(denom > 0, dots / np.where(denom > 0, denom, 1.0), 0.0)
+            np.maximum(best, corr, out=best)
+    return 0.5 * (best_plus + best_minus), centers

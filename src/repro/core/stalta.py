@@ -1,0 +1,140 @@
+"""STA/LTA event detection.
+
+The classical short-term-average / long-term-average trigger — the
+standard single-channel seismic detector the local-similarity method
+(Algorithm 2) improves on for large-N arrays.  Included both as a
+baseline detector and because production DAS monitoring runs it as the
+first-pass screen.
+
+Implements the classic (windowed) and recursive forms plus trigger
+on/off picking, with ObsPy-compatible semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.daslib.moving import moving_average
+from repro.errors import ConfigError
+
+
+def classic_sta_lta(x: np.ndarray, nsta: int, nlta: int, axis: int = -1) -> np.ndarray:
+    """Classic STA/LTA of the squared signal.
+
+    ``nsta``/``nlta`` are window lengths in samples (trailing windows).
+    The first ``nlta`` samples, where the LTA is not yet filled, return
+    0 so they can never trigger (ObsPy behaviour).
+    """
+    if not (0 < nsta < nlta):
+        raise ConfigError(f"need 0 < nsta ({nsta}) < nlta ({nlta})")
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[axis]
+    if n < nlta:
+        raise ConfigError(f"signal of {n} samples shorter than nlta={nlta}")
+    moved = np.moveaxis(x, axis, -1)
+    energy = moved**2
+    cumsum = np.concatenate(
+        [np.zeros(energy.shape[:-1] + (1,)), np.cumsum(energy, axis=-1)], axis=-1
+    )
+    idx = np.arange(n)
+    sta_lo = np.clip(idx - nsta + 1, 0, None)
+    lta_lo = np.clip(idx - nlta + 1, 0, None)
+    sta = (cumsum[..., idx + 1] - cumsum[..., sta_lo]) / nsta
+    lta = (cumsum[..., idx + 1] - cumsum[..., lta_lo]) / nlta
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(lta > 0, sta / np.where(lta > 0, lta, 1.0), 0.0)
+    ratio[..., : nlta - 1] = 0.0
+    return np.moveaxis(ratio, -1, axis)
+
+
+def recursive_sta_lta(x: np.ndarray, nsta: int, nlta: int) -> np.ndarray:
+    """Recursive (exponential-average) STA/LTA of a 1-D signal.
+
+    One pass, O(n), the on-line form acquisition systems run.
+    """
+    if not (0 < nsta < nlta):
+        raise ConfigError(f"need 0 < nsta ({nsta}) < nlta ({nlta})")
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ConfigError("recursive STA/LTA takes a 1-D series")
+    csta = 1.0 / nsta
+    clta = 1.0 / nlta
+    sta = 0.0
+    lta = np.finfo(float).tiny
+    out = np.zeros(len(x))
+    for i, value in enumerate(x):
+        energy = value * value
+        sta = csta * energy + (1.0 - csta) * sta
+        lta = clta * energy + (1.0 - clta) * lta
+        out[i] = sta / lta
+    out[: nlta - 1] = 0.0
+    return out
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """One STA/LTA trigger interval (sample indices, end exclusive)."""
+
+    on: int
+    off: int
+
+    @property
+    def length(self) -> int:
+        return self.off - self.on
+
+
+def trigger_onset(
+    ratio: np.ndarray, on_threshold: float, off_threshold: float
+) -> list[Trigger]:
+    """Hysteresis picking: trigger when the ratio crosses ``on_threshold``,
+    release when it falls below ``off_threshold``."""
+    if off_threshold > on_threshold:
+        raise ConfigError("off_threshold must not exceed on_threshold")
+    ratio = np.asarray(ratio, dtype=np.float64)
+    if ratio.ndim != 1:
+        raise ConfigError("trigger picking takes a 1-D ratio series")
+    triggers: list[Trigger] = []
+    active_since: int | None = None
+    for i, value in enumerate(ratio):
+        if active_since is None:
+            if value >= on_threshold:
+                active_since = i
+        else:
+            if value < off_threshold:
+                triggers.append(Trigger(active_since, i))
+                active_since = None
+    if active_since is not None:
+        triggers.append(Trigger(active_since, len(ratio)))
+    return triggers
+
+
+def array_detections(
+    data: np.ndarray,
+    nsta: int,
+    nlta: int,
+    on_threshold: float = 3.5,
+    off_threshold: float = 1.5,
+    min_fraction: float = 0.3,
+    smooth: int = 1,
+) -> list[Trigger]:
+    """Array-wide STA/LTA: a sample is a detection when at least
+    ``min_fraction`` of channels trigger simultaneously.
+
+    This is the naive large-N detector whose noise susceptibility
+    motivated local similarity (Li et al. 2018): single-channel spikes
+    vote, so a localised disturbance on enough channels false-triggers.
+    """
+    if not (0.0 < min_fraction <= 1.0):
+        raise ConfigError("min_fraction must be in (0, 1]")
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ConfigError("need a 2-D (channels, samples) array")
+    ratio = classic_sta_lta(data, nsta, nlta, axis=-1)
+    voting = (ratio >= on_threshold).mean(axis=0)
+    if smooth > 1:
+        voting = moving_average(voting, smooth)
+    return trigger_onset(
+        voting, on_threshold=min_fraction, off_threshold=min_fraction / 2
+    )

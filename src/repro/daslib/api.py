@@ -1,0 +1,59 @@
+"""MATLAB-style aliases — the paper's Table II names.
+
+Geophysicists' pipelines in the paper call ``Das_*`` functions whose
+"name and semantics follow the style of the signal processing toolbox in
+MATLAB" (§V-A).  These wrappers keep that surface so Algorithm 2/3 can
+be transcribed verbatim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.daslib.butterworth import butter
+from repro.daslib.correlate import abscorr
+from repro.daslib.detrend import detrend
+from repro.daslib.fft import fft, ifft
+from repro.daslib.filtfilt import filtfilt
+from repro.daslib.interp import interp1
+from repro.daslib.resample import resample
+
+
+def Das_abscorr(c1: np.ndarray, c2: np.ndarray, axis: int = -1):
+    """Absolute correlation ``|cos θ(c1, c2)|`` (Table II)."""
+    return abscorr(c1, c2, axis=axis)
+
+
+def Das_detrend(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Remove the best straight-line fit of ``x`` (Table II)."""
+    return detrend(x, type="linear", axis=axis)
+
+
+def Das_butter(n: int, fc, btype: str = "low", fs: float | None = None):
+    """Butterworth coefficients ``(c1, c2) = (b, a)`` (Table II)."""
+    return butter(n, fc, btype=btype, fs=fs)
+
+
+def Das_filtfilt(c1: np.ndarray, c2: np.ndarray, x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Zero-phase application of ``(c1, c2)`` to ``x`` (Table II)."""
+    return filtfilt(c1, c2, x, axis=axis)
+
+
+def Das_resample(x: np.ndarray, p: int, q: int, axis: int = -1) -> np.ndarray:
+    """Resample ``x`` at ``p/q`` times the original rate (Table II)."""
+    return resample(x, p, q, axis=axis)
+
+
+def Das_interp1(x0, y0, x, kind: str = "linear"):
+    """Linear interpolation satisfying ``f(x0) = y0`` (Table II)."""
+    return interp1(x0, y0, x, kind=kind)
+
+
+def Das_fft(x: np.ndarray, n: int | None = None, axis: int = -1) -> np.ndarray:
+    """FFT of ``x`` (Table II)."""
+    return fft(x, n=n, axis=axis)
+
+
+def Das_ifft(x: np.ndarray, n: int | None = None, axis: int = -1) -> np.ndarray:
+    """Inverse FFT of ``x`` (Table II)."""
+    return ifft(x, n=n, axis=axis)

@@ -1,0 +1,158 @@
+"""Butterworth IIR filter design, from scratch.
+
+Pipeline (the classic analog-prototype route MATLAB's ``butter`` uses):
+
+1. analog lowpass prototype poles on the unit circle,
+2. frequency transform in zero-pole-gain form
+   (``lp2lp`` / ``lp2hp`` / ``lp2bp`` / ``lp2bs``) with pre-warped
+   frequencies,
+3. bilinear transform to the z-domain,
+4. conversion to transfer-function ``(b, a)`` coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_BTYPES = {
+    "low": "low",
+    "lowpass": "low",
+    "high": "high",
+    "highpass": "high",
+    "band": "bandpass",
+    "bandpass": "bandpass",
+    "stop": "bandstop",
+    "bandstop": "bandstop",
+}
+
+
+def buttap(order: int) -> tuple[np.ndarray, np.ndarray, float]:
+    """Analog Butterworth lowpass prototype: (zeros, poles, gain)."""
+    if order < 1:
+        raise ValueError("filter order must be >= 1")
+    k = np.arange(1, order + 1)
+    theta = np.pi * (2 * k + order - 1) / (2 * order)
+    poles = np.exp(1j * theta)
+    return np.zeros(0, dtype=complex), poles, 1.0
+
+
+def _lp2lp(z: np.ndarray, p: np.ndarray, k: float, wo: float):
+    degree = len(p) - len(z)
+    return z * wo, p * wo, k * wo**degree
+
+
+def _lp2hp(z: np.ndarray, p: np.ndarray, k: float, wo: float):
+    degree = len(p) - len(z)
+    z_hp = wo / z if len(z) else np.zeros(0, dtype=complex)
+    p_hp = wo / p
+    z_hp = np.append(z_hp, np.zeros(degree))
+    k_hp = k * np.real(np.prod(-z) / np.prod(-p)) if len(z) else k * np.real(
+        1.0 / np.prod(-p)
+    )
+    return z_hp, p_hp, k_hp
+
+
+def _lp2bp(z: np.ndarray, p: np.ndarray, k: float, wo: float, bw: float):
+    degree = len(p) - len(z)
+    z_lp = z * bw / 2
+    p_lp = p * bw / 2
+    z_bp = np.concatenate(
+        [z_lp + np.sqrt(z_lp**2 - wo**2), z_lp - np.sqrt(z_lp**2 - wo**2)]
+    ) if len(z) else np.zeros(0, dtype=complex)
+    p_bp = np.concatenate(
+        [p_lp + np.sqrt(p_lp**2 - wo**2), p_lp - np.sqrt(p_lp**2 - wo**2)]
+    )
+    z_bp = np.append(z_bp, np.zeros(degree))
+    return z_bp, p_bp, k * bw**degree
+
+
+def _lp2bs(z: np.ndarray, p: np.ndarray, k: float, wo: float, bw: float):
+    degree = len(p) - len(z)
+    z_hp = (bw / 2) / z if len(z) else np.zeros(0, dtype=complex)
+    p_hp = (bw / 2) / p
+    z_bs = np.concatenate(
+        [z_hp + np.sqrt(z_hp**2 - wo**2), z_hp - np.sqrt(z_hp**2 - wo**2)]
+    ) if len(z) else np.zeros(0, dtype=complex)
+    p_bs = np.concatenate(
+        [p_hp + np.sqrt(p_hp**2 - wo**2), p_hp - np.sqrt(p_hp**2 - wo**2)]
+    )
+    z_bs = np.append(z_bs, np.full(degree, 1j * wo))
+    z_bs = np.append(z_bs, np.full(degree, -1j * wo))
+    num = np.prod(-z) if len(z) else 1.0
+    k_bs = k * np.real(num / np.prod(-p))
+    return z_bs, p_bs, k_bs
+
+
+def bilinear_zpk(
+    z: np.ndarray, p: np.ndarray, k: float, fs: float
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Bilinear (Tustin) transform of an analog zpk system."""
+    degree = len(p) - len(z)
+    if degree < 0:
+        raise ValueError("improper transfer function (more zeros than poles)")
+    fs2 = 2.0 * fs
+    z_d = (fs2 + z) / (fs2 - z)
+    p_d = (fs2 + p) / (fs2 - p)
+    z_d = np.append(z_d, -np.ones(degree))
+    num = np.prod(fs2 - z) if len(z) else 1.0
+    k_d = k * np.real(num / np.prod(fs2 - p))
+    return z_d, p_d, k_d
+
+
+def zpk2tf(z: np.ndarray, p: np.ndarray, k: float) -> tuple[np.ndarray, np.ndarray]:
+    """Zero-pole-gain → transfer-function coefficients (real-valued)."""
+    b = k * np.poly(z) if len(z) else np.atleast_1d(k).astype(complex)
+    a = np.poly(p)
+    b = np.atleast_1d(b)
+    a = np.atleast_1d(a)
+    # Complex conjugate root sets produce real polynomials up to rounding.
+    if np.allclose(b.imag, 0, atol=1e-10 * max(1.0, np.abs(b).max())):
+        b = b.real
+    if np.allclose(a.imag, 0, atol=1e-10 * max(1.0, np.abs(a).max())):
+        a = a.real
+    return np.asarray(b, dtype=np.float64), np.asarray(a, dtype=np.float64)
+
+
+def butter(
+    order: int,
+    cutoff: float | tuple[float, float] | list[float] | np.ndarray,
+    btype: str = "low",
+    fs: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Digital Butterworth design (MATLAB/`Das_butter` semantics).
+
+    ``cutoff`` is in half-cycles/sample (0..1 with 1 = Nyquist) unless
+    ``fs`` is given, in which case it is in Hz.  Band filters take a
+    ``(low, high)`` pair.  Returns ``(b, a)``.
+    """
+    try:
+        kind = _BTYPES[btype.lower()]
+    except KeyError:
+        raise ValueError(f"unknown btype {btype!r}") from None
+
+    wn = np.atleast_1d(np.asarray(cutoff, dtype=np.float64))
+    if fs is not None:
+        wn = 2.0 * wn / fs
+    if np.any(wn <= 0) or np.any(wn >= 1):
+        raise ValueError(
+            f"cutoff must lie strictly inside (0, Nyquist); got {cutoff!r}"
+        )
+
+    z, p, k = buttap(order)
+    fs_design = 2.0
+    warped = 2 * fs_design * np.tan(np.pi * wn / fs_design)
+
+    if kind in ("low", "high"):
+        if wn.size != 1:
+            raise ValueError(f"{kind}pass takes a single cutoff")
+        wo = float(warped[0])
+        z, p, k = (_lp2lp if kind == "low" else _lp2hp)(z, p, k, wo)
+    else:
+        if wn.size != 2 or wn[0] >= wn[1]:
+            raise ValueError(f"{kind} takes an increasing (low, high) pair")
+        bw = float(warped[1] - warped[0])
+        wo = float(np.sqrt(warped[0] * warped[1]))
+        z, p, k = (_lp2bp if kind == "bandpass" else _lp2bs)(z, p, k, wo, bw)
+
+    z, p, k = bilinear_zpk(z, p, k, fs_design)
+    return zpk2tf(z, p, k)

@@ -1,0 +1,79 @@
+"""Correlation measures: ``Das_abscorr`` and cross-correlation.
+
+``abscorr`` is the paper's similarity kernel: the absolute cosine of the
+angle between two windows, ``|cos θ(c1, c2)|`` — the quantity maximised
+over lags in the local-similarity detector (Algorithm 2) and applied to
+spectra in the interferometry pipeline (Algorithm 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.daslib.fft import irfft, next_fast_len, rfft
+
+#: Tolerance below which a window is treated as all-zero (abscorr -> 0).
+_EPS = 1e-300
+
+
+def abscorr(c1: np.ndarray, c2: np.ndarray, axis: int = -1) -> np.ndarray | float:
+    """Absolute correlation ``|cos θ(c1, c2)|`` along ``axis``.
+
+    Accepts real or complex inputs (complex for spectra); broadcasting
+    applies across the remaining axes.  Zero-norm windows yield 0.0
+    rather than NaN so noisy-but-dead channels don't poison detections.
+    """
+    c1 = np.asarray(c1)
+    c2 = np.asarray(c2)
+    num = np.abs(np.sum(c1 * np.conj(c2), axis=axis))
+    # sqrt of each energy separately: sqrt(a*b) would underflow to zero
+    # for tiny-amplitude windows whose energies multiply below DBL_MIN.
+    denom = np.sqrt(np.sum(np.abs(c1) ** 2, axis=axis)) * np.sqrt(
+        np.sum(np.abs(c2) ** 2, axis=axis)
+    )
+    out = np.where(denom > _EPS, num / np.where(denom > _EPS, denom, 1.0), 0.0)
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+def xcorr(
+    a: np.ndarray, b: np.ndarray, max_lag: int | None = None, normalize: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """Time-domain cross-correlation of two 1-D series via FFT.
+
+    Returns ``(lags, values)`` with lags in ``[-max_lag, +max_lag]``
+    (default: full overlap range).  With ``normalize=True`` values are
+    scaled by the geometric mean of the energies (bounded by 1 for equal
+    lengths).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 1 or b.ndim != 1:
+        raise ValueError("xcorr takes 1-D inputs")
+    n = len(a) + len(b) - 1
+    nfft = next_fast_len(n)
+    fa = rfft(a, nfft)
+    fb = rfft(b, nfft)
+    cc = irfft(fa * np.conj(fb), nfft)[:n]
+    # Reorder to lags -len(b)+1 .. len(a)-1.
+    cc = np.concatenate([cc[-(len(b) - 1) :], cc[: len(a)]]) if len(b) > 1 else cc[: len(a)]
+    lags = np.arange(-(len(b) - 1), len(a))
+    if normalize:
+        denom = np.sqrt(np.dot(a, a) * np.dot(b, b))
+        if denom > _EPS:
+            cc = cc / denom
+    if max_lag is not None:
+        if max_lag < 0:
+            raise ValueError("max_lag must be >= 0")
+        keep = (lags >= -max_lag) & (lags <= max_lag)
+        lags, cc = lags[keep], cc[keep]
+    return lags, cc
+
+
+def xcorr_freq(
+    spec_a: np.ndarray, spec_b: np.ndarray, axis: int = -1
+) -> np.ndarray:
+    """Frequency-domain cross-spectrum ``A * conj(B)`` (noise
+    interferometry's correlation step, applied to whitened spectra)."""
+    return np.asarray(spec_a) * np.conj(np.asarray(spec_b))

@@ -1,0 +1,40 @@
+"""Trend removal (MATLAB ``detrend`` semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def demean(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Remove the mean along ``axis`` (MATLAB ``detrend(x, 'constant')``)."""
+    x = np.asarray(x, dtype=np.float64)
+    return x - x.mean(axis=axis, keepdims=True)
+
+
+def detrend(x: np.ndarray, type: str = "linear", axis: int = -1) -> np.ndarray:
+    """Remove the best straight-line fit (or the mean) along ``axis``.
+
+    ``type="linear"`` subtracts the least-squares line fitted to each
+    series; ``type="constant"`` subtracts the mean.  Matches MATLAB's
+    ``detrend`` and the paper's ``Das_detrend``.
+    """
+    if type in ("constant", "c"):
+        return demean(x, axis=axis)
+    if type not in ("linear", "l"):
+        raise ValueError(f"unknown detrend type {type!r}")
+
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[axis]
+    if n < 2:
+        return demean(x, axis=axis)
+
+    moved = np.moveaxis(x, axis, -1)
+    t = np.arange(n, dtype=np.float64)
+    t_mean = t.mean()
+    t_centred = t - t_mean
+    denom = np.dot(t_centred, t_centred)
+    x_mean = moved.mean(axis=-1, keepdims=True)
+    # slope per series: <t - t̄, x - x̄> / <t - t̄, t - t̄>
+    slope = (moved - x_mean) @ t_centred / denom
+    fitted = x_mean + slope[..., None] * t_centred
+    return np.moveaxis(moved - fitted, -1, axis)

@@ -1,0 +1,65 @@
+"""1-D interpolation (``Das_interp1``, MATLAB ``interp1`` semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def interp1(
+    x0: np.ndarray,
+    y0: np.ndarray,
+    x: np.ndarray,
+    kind: str = "linear",
+    fill_value: float | str = np.nan,
+    axis: int = -1,
+) -> np.ndarray:
+    """Interpolate ``f(x0) = y0`` at query points ``x``.
+
+    ``kind`` is ``"linear"`` or ``"nearest"``.  Out-of-range queries get
+    ``fill_value`` (``"extrapolate"`` enables linear extrapolation).
+    ``y0`` may be N-dimensional with the sample axis given by ``axis``.
+    """
+    x0 = np.asarray(x0, dtype=np.float64)
+    y0 = np.asarray(y0, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    if x0.ndim != 1:
+        raise ValueError("x0 must be 1-D")
+    if len(x0) < 2:
+        raise ValueError("need at least two sample points")
+    if y0.shape[axis] != len(x0):
+        raise ValueError(
+            f"y0 axis {axis} has length {y0.shape[axis]}, expected {len(x0)}"
+        )
+    if np.any(np.diff(x0) <= 0):
+        order = np.argsort(x0, kind="stable")
+        x0 = x0[order]
+        y0 = np.take(y0, order, axis=axis)
+        if np.any(np.diff(x0) <= 0):
+            raise ValueError("x0 must contain distinct values")
+
+    moved = np.moveaxis(y0, axis, -1)
+    flat_x = x.reshape(-1)
+
+    if kind == "nearest":
+        mids = (x0[1:] + x0[:-1]) / 2.0
+        idx = np.searchsorted(mids, flat_x)
+        out = moved[..., idx]
+    elif kind == "linear":
+        idx = np.clip(np.searchsorted(x0, flat_x) - 1, 0, len(x0) - 2)
+        x_lo = x0[idx]
+        x_hi = x0[idx + 1]
+        weight = (flat_x - x_lo) / (x_hi - x_lo)
+        out = moved[..., idx] * (1.0 - weight) + moved[..., idx + 1] * weight
+    else:
+        raise ValueError(f"unknown interpolation kind {kind!r}")
+
+    if fill_value != "extrapolate":
+        outside = (flat_x < x0[0]) | (flat_x > x0[-1])
+        if np.any(outside):
+            out = np.array(out, dtype=np.float64)
+            out[..., outside] = float(fill_value)
+
+    out = out.reshape(moved.shape[:-1] + x.shape)
+    if y0.ndim == 1:
+        return out.reshape(x.shape)
+    return np.moveaxis(out, -1, axis) if x.ndim == 1 else out

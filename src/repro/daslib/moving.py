@@ -1,0 +1,54 @@
+"""Moving statistics and sliding-window views."""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+
+def moving_average(x: np.ndarray, width: int, axis: int = -1) -> np.ndarray:
+    """Centered moving average with edge shrinkage (same-length output).
+
+    Within ``width//2`` of an edge the average is taken over the samples
+    that exist, so the output has no ramp-in bias toward zero.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[axis]
+    if width == 1 or n == 0:
+        return x.copy()
+    moved = np.moveaxis(x, axis, -1)
+    half_left = (width - 1) // 2
+    half_right = width // 2
+    cumsum = np.cumsum(moved, axis=-1)
+    zero = np.zeros(moved.shape[:-1] + (1,))
+    cumsum = np.concatenate([zero, cumsum], axis=-1)
+    idx = np.arange(n)
+    lo = np.clip(idx - half_left, 0, n)
+    hi = np.clip(idx + half_right + 1, 0, n)
+    sums = cumsum[..., hi] - cumsum[..., lo]
+    counts = (hi - lo).astype(np.float64)
+    return np.moveaxis(sums / counts, -1, axis)
+
+
+def sliding_windows(x: np.ndarray, width: int, step: int = 1, axis: int = -1) -> np.ndarray:
+    """Strided view of overlapping windows (no copy).
+
+    Output gains a trailing axis of length ``width``; windows advance by
+    ``step`` along ``axis``.  This is the batch form of the Stencil's
+    window extraction used by the vectorised local-similarity kernel.
+    """
+    if width < 1 or step < 1:
+        raise ValueError("width and step must be >= 1")
+    x = np.asarray(x)
+    if x.shape[axis] < width:
+        raise ValueError(
+            f"window width {width} exceeds axis length {x.shape[axis]}"
+        )
+    view = sliding_window_view(x, width, axis=axis)
+    # sliding_window_view puts the window axis last; stride the window-start axis.
+    slicer = [slice(None)] * view.ndim
+    start_axis = axis if axis >= 0 else x.ndim + axis
+    slicer[start_axis] = slice(None, None, step)
+    return view[tuple(slicer)]

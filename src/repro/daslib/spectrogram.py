@@ -1,0 +1,94 @@
+"""Short-time Fourier transform and spectrogram.
+
+Used for the Fig. 1b-style time-frequency view of DAS channels and by
+band-ratio event screening.  Built on the sliding-window view + real
+FFT, no scipy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.daslib.fft import rfft, rfftfreq
+from repro.daslib.moving import sliding_windows
+from repro.daslib.window import get_window
+
+
+def stft(
+    x: np.ndarray,
+    nperseg: int = 256,
+    noverlap: int | None = None,
+    fs: float = 1.0,
+    window: str | tuple = "hann",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Short-time Fourier transform of the last axis.
+
+    Returns ``(freqs, times, S)`` where ``S[..., f, t]`` is the complex
+    STFT; ``times`` are segment centres in seconds.  ``noverlap``
+    defaults to ``nperseg // 2``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if nperseg < 2:
+        raise ValueError("nperseg must be >= 2")
+    if x.shape[-1] < nperseg:
+        raise ValueError(
+            f"signal of {x.shape[-1]} samples shorter than nperseg={nperseg}"
+        )
+    if noverlap is None:
+        noverlap = nperseg // 2
+    if not (0 <= noverlap < nperseg):
+        raise ValueError("need 0 <= noverlap < nperseg")
+    step = nperseg - noverlap
+    frames = sliding_windows(x, nperseg, step=step, axis=-1)
+    taper = get_window(window, nperseg)
+    spectra = rfft(frames * taper, axis=-1)
+    # (..., n_frames, n_freqs) -> (..., n_freqs, n_frames)
+    spectra = np.moveaxis(spectra, -1, -2)
+    n_frames = frames.shape[-2]
+    times = (np.arange(n_frames) * step + nperseg / 2) / fs
+    freqs = rfftfreq(nperseg, 1.0 / fs)
+    return freqs, times, spectra
+
+
+def spectrogram(
+    x: np.ndarray,
+    nperseg: int = 256,
+    noverlap: int | None = None,
+    fs: float = 1.0,
+    window: str | tuple = "hann",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Power spectrogram ``|STFT|^2`` with density scaling."""
+    freqs, times, spectra = stft(
+        x, nperseg=nperseg, noverlap=noverlap, fs=fs, window=window
+    )
+    taper = get_window(window, nperseg)
+    scale = 1.0 / (fs * np.sum(taper**2))
+    power = (np.abs(spectra) ** 2) * scale
+    # One-sided density: double everything but DC (and Nyquist when even).
+    if nperseg % 2 == 0:
+        power[..., 1:-1, :] *= 2.0
+    else:
+        power[..., 1:, :] *= 2.0
+    return freqs, times, power
+
+
+def band_power(
+    x: np.ndarray,
+    fs: float,
+    band: tuple[float, float],
+    nperseg: int = 256,
+    noverlap: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Power inside a frequency band over time: ``(times, power)``.
+
+    A cheap event screen: traffic and earthquakes live in different
+    bands, so their band-power traces separate before any correlation.
+    """
+    lo, hi = band
+    if not (0 <= lo < hi <= fs / 2):
+        raise ValueError(f"band {band} outside [0, Nyquist]")
+    freqs, times, power = spectrogram(x, nperseg=nperseg, noverlap=noverlap, fs=fs)
+    select = (freqs >= lo) & (freqs <= hi)
+    if not select.any():
+        raise ValueError(f"band {band} contains no FFT bins at nperseg={nperseg}")
+    return times, power[..., select, :].sum(axis=-2)

@@ -1,0 +1,34 @@
+"""Spectral whitening.
+
+Ambient-noise interferometry flattens each channel's amplitude spectrum
+before cross-correlation so persistent narrow-band sources (machinery,
+power-line hum) don't dominate the noise correlation functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.daslib.moving import moving_average
+
+
+def whiten(
+    spectrum: np.ndarray,
+    smooth_bins: int = 1,
+    eps: float = 1e-12,
+    axis: int = -1,
+) -> np.ndarray:
+    """Normalise a complex spectrum to unit (smoothed) amplitude.
+
+    With ``smooth_bins > 1`` the amplitude envelope is smoothed with a
+    moving average before division, which preserves local spectral shape
+    (running-mean whitening); ``smooth_bins=1`` is pure 1-bit-style
+    amplitude flattening.
+    """
+    spectrum = np.asarray(spectrum)
+    if smooth_bins < 1:
+        raise ValueError("smooth_bins must be >= 1")
+    amplitude = np.abs(spectrum)
+    if smooth_bins > 1:
+        amplitude = moving_average(amplitude, smooth_bins, axis=axis)
+    return spectrum / (amplitude + eps)

@@ -1,0 +1,97 @@
+"""Window functions and cosine tapering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _hann(n: int) -> np.ndarray:
+    if n == 1:
+        return np.ones(1)
+    m = np.arange(n)
+    return 0.5 - 0.5 * np.cos(2 * np.pi * m / (n - 1))
+
+
+def _hamming(n: int) -> np.ndarray:
+    if n == 1:
+        return np.ones(1)
+    m = np.arange(n)
+    return 0.54 - 0.46 * np.cos(2 * np.pi * m / (n - 1))
+
+
+def _blackman(n: int) -> np.ndarray:
+    if n == 1:
+        return np.ones(1)
+    m = np.arange(n)
+    return (
+        0.42
+        - 0.5 * np.cos(2 * np.pi * m / (n - 1))
+        + 0.08 * np.cos(4 * np.pi * m / (n - 1))
+    )
+
+
+def _kaiser(n: int, beta: float) -> np.ndarray:
+    if n == 1:
+        return np.ones(1)
+    m = np.arange(n)
+    alpha = (n - 1) / 2.0
+    arg = beta * np.sqrt(np.clip(1 - ((m - alpha) / alpha) ** 2, 0, None))
+    return np.i0(arg) / np.i0(beta)
+
+
+def _tukey(n: int, alpha: float = 0.5) -> np.ndarray:
+    if alpha <= 0:
+        return np.ones(n)
+    if alpha >= 1:
+        return _hann(n)
+    if n == 1:
+        return np.ones(1)
+    edge = int(np.floor(alpha * (n - 1) / 2.0))
+    window = np.ones(n)
+    m = np.arange(edge + 1)
+    ramp = 0.5 * (1 + np.cos(np.pi * (2.0 * m / (alpha * (n - 1)) - 1)))
+    window[: edge + 1] = ramp
+    window[n - edge - 1 :] = ramp[::-1]
+    return window
+
+
+def get_window(name: str | tuple, n: int) -> np.ndarray:
+    """Window by name: hann, hamming, blackman, boxcar, ``("kaiser", beta)``,
+    ``("tukey", alpha)``."""
+    if n < 1:
+        raise ValueError("window length must be >= 1")
+    if isinstance(name, tuple):
+        kind, param = name
+        if kind == "kaiser":
+            return _kaiser(n, float(param))
+        if kind == "tukey":
+            return _tukey(n, float(param))
+        raise ValueError(f"unknown parametric window {kind!r}")
+    table = {
+        "hann": _hann,
+        "hanning": _hann,
+        "hamming": _hamming,
+        "blackman": _blackman,
+        "boxcar": lambda k: np.ones(k),
+        "rect": lambda k: np.ones(k),
+    }
+    if name not in table:
+        raise ValueError(f"unknown window {name!r}")
+    return table[name](n)
+
+
+def taper(x: np.ndarray, fraction: float = 0.05, axis: int = -1) -> np.ndarray:
+    """Apply a cosine (Tukey) taper to both ends of each series.
+
+    ``fraction`` is the tapered portion per edge (ObsPy-style); the
+    interferometry pipeline tapers before filtering to suppress edge
+    ringing.
+    """
+    if not (0.0 <= fraction <= 0.5):
+        raise ValueError("taper fraction must be in [0, 0.5]")
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[axis]
+    window = _tukey(n, 2 * fraction)
+    shape = [1] * x.ndim
+    shape[axis] = n
+    return x * window.reshape(shape)

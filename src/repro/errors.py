@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro (DASSA) package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch framework-level failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class FormatError(ReproError):
+    """Raised when an hdf5lite file is malformed or unsupported."""
+
+
+class SelectionError(ReproError):
+    """Raised for invalid hyperslab / LAV selections."""
+
+
+class StorageError(ReproError):
+    """Raised by the DASS storage engine (search, VCA/RCA, readers)."""
+
+
+class MPIError(ReproError):
+    """Raised by the simulated MPI runtime."""
+
+
+class OutOfMemoryError(ReproError):
+    """Raised by the cluster memory model when a node's memory is exceeded.
+
+    Mirrors the pure-MPI ArrayUDF out-of-memory failure reported in the
+    paper's Fig. 8 (91-node case).
+    """
+
+    def __init__(self, node: int, requested: float, available: float):
+        self.node = node
+        self.requested = requested
+        self.available = available
+        super().__init__(
+            f"node {node}: requested {requested / 2**30:.2f} GiB "
+            f"but only {available / 2**30:.2f} GiB available"
+        )
+
+
+class UDFError(ReproError):
+    """Raised when a user-defined function fails inside the ArrayUDF engine."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid framework / machine-model configuration."""

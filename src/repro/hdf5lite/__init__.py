@@ -1,0 +1,49 @@
+"""hdf5lite — a from-scratch hierarchical array file format.
+
+A minimal but real substitute for HDF5/h5py, providing exactly what the
+DASS storage engine needs:
+
+* hierarchical **groups** with key-value **attributes** (the two-level DAS
+  metadata model of the paper's Fig. 4),
+* N-dimensional **datasets** with contiguous or chunked layout,
+* **hyperslab** partial reads/writes that touch only the required byte
+  ranges (every contiguous run costs one seek + one read, all counted by
+  :class:`repro.utils.IOStats`),
+* **virtual datasets** that stitch regions of datasets in other files into
+  one logical array — the mechanism behind the Virtually Concatenated
+  Array (VCA).
+
+File layout (version 1)::
+
+    [header: magic, version, meta_offset, meta_len]
+    [raw dataset bytes ...]
+    [metadata: JSON-encoded group tree]
+
+The metadata footer is rewritten on close; datasets are appended to the
+data region.
+"""
+
+from repro.hdf5lite.attributes import Attributes
+from repro.hdf5lite.dataset import Dataset
+from repro.hdf5lite.file import File, Group
+from repro.hdf5lite.hyperslab import (
+    Hyperslab,
+    contiguous_runs,
+    intersect,
+    normalize_selection,
+    selection_shape,
+)
+from repro.hdf5lite.virtual import VirtualSource
+
+__all__ = [
+    "File",
+    "Group",
+    "Dataset",
+    "Attributes",
+    "Hyperslab",
+    "VirtualSource",
+    "normalize_selection",
+    "selection_shape",
+    "contiguous_runs",
+    "intersect",
+]

@@ -1,0 +1,91 @@
+"""Key-value attributes attached to groups and datasets.
+
+This is the storage behind the paper's two-level DAS metadata model
+(Fig. 4): the file's root group holds global metadata (sampling frequency,
+spatial resolution, timestamp, number of channels, ...) and per-channel
+objects hold their own KV lists.
+
+Values are restricted to JSON-representable scalars and flat lists so the
+metadata footer stays portable; numpy scalar types are coerced on insert.
+"""
+
+from __future__ import annotations
+
+from collections.abc import MutableMapping
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.errors import FormatError
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _coerce(value: Any) -> Any:
+    """Coerce a value to a JSON-storable form, rejecting the unstorable."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, np.ndarray):
+        if value.ndim != 1:
+            raise FormatError("only 1-D arrays may be stored as attributes")
+        return [_coerce(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_coerce(v) for v in value]
+    raise FormatError(
+        f"attribute value of type {type(value).__name__} is not storable; "
+        "use scalars or flat lists"
+    )
+
+
+class Attributes(MutableMapping):
+    """A mutable KV mapping that notifies its owner of modifications."""
+
+    __slots__ = ("_data", "_on_change", "_writable")
+
+    def __init__(
+        self,
+        data: dict[str, Any] | None = None,
+        on_change: Callable[[], None] | None = None,
+        writable: bool = True,
+    ):
+        self._data: dict[str, Any] = dict(data) if data else {}
+        self._on_change = on_change
+        self._writable = writable
+
+    def _mutate(self) -> None:
+        if not self._writable:
+            raise FormatError("attributes are read-only (file opened in mode 'r')")
+        if self._on_change is not None:
+            self._on_change()
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        if not isinstance(key, str):
+            raise FormatError("attribute keys must be strings")
+        coerced = _coerce(value)
+        self._mutate()
+        self._data[key] = coerced
+
+    def __delitem__(self, key: str) -> None:
+        self._mutate()
+        del self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"Attributes({self._data!r})"
+
+    def to_dict(self) -> dict[str, Any]:
+        return dict(self._data)
+
+    def update_many(self, values: dict[str, Any]) -> None:
+        for key, value in values.items():
+            self[key] = value

@@ -1,0 +1,328 @@
+"""Dataset objects: N-dimensional arrays with three storage layouts.
+
+* ``contiguous`` — one C-ordered buffer in the file; hyperslab reads touch
+  only the needed byte runs.
+* ``chunked`` — the array is split on a regular chunk grid, each chunk a
+  contiguous buffer; reads open only the chunks a selection intersects.
+* ``virtual`` — the data live in *other* files (see
+  :mod:`repro.hdf5lite.virtual`); reads are delegated to the source files.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import FormatError, SelectionError
+from repro.hdf5lite import dtype as _dtype
+from repro.hdf5lite.attributes import Attributes
+from repro.hdf5lite.hyperslab import (
+    Hyperslab,
+    contiguous_runs,
+    intersect,
+    normalize_selection,
+    selection_shape,
+)
+from repro.hdf5lite.virtual import VirtualSource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hdf5lite.file import File
+
+LAYOUT_CONTIGUOUS = "contiguous"
+LAYOUT_CHUNKED = "chunked"
+LAYOUT_VIRTUAL = "virtual"
+
+
+def _chunk_key(coord: Sequence[int]) -> str:
+    return ",".join(str(c) for c in coord)
+
+
+class Dataset:
+    """A dataset inside an hdf5lite file.
+
+    Supports numpy-style basic indexing for reads (``ds[...]``,
+    ``ds[2:5, ::3]``) and, for contiguous datasets in writable files,
+    hyperslab writes (``ds[2:5] = values``).
+    """
+
+    def __init__(self, file: "File", path: str, meta: dict[str, Any]):
+        self._file = file
+        self.path = path
+        self._meta = meta
+        self.attrs = Attributes(
+            meta.setdefault("attrs", {}),
+            on_change=file._mark_dirty,
+            writable=file.writable,
+        )
+        # Attributes copies the dict; rebind so mutations persist into meta.
+        self._meta["attrs"] = self.attrs._data
+
+    # -- basic properties ----------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self._meta["shape"])
+
+    @property
+    def ndim(self) -> int:
+        return len(self._meta["shape"])
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self._meta["shape"], dtype=np.int64))
+
+    @property
+    def dtype(self) -> np.dtype:
+        return _dtype.token_dtype(self._meta["dtype"])
+
+    @property
+    def itemsize(self) -> int:
+        return self.dtype.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.itemsize
+
+    @property
+    def layout(self) -> str:
+        return self._meta["layout"]
+
+    @property
+    def chunks(self) -> tuple[int, ...] | None:
+        if self.layout != LAYOUT_CHUNKED:
+            return None
+        return tuple(self._meta["chunks"])
+
+    @property
+    def virtual_sources(self) -> list[VirtualSource]:
+        if self.layout != LAYOUT_VIRTUAL:
+            return []
+        return [VirtualSource.from_dict(raw) for raw in self._meta["sources"]]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Dataset {self.path!r} shape={self.shape} dtype={self.dtype} "
+            f"layout={self.layout}>"
+        )
+
+    def __len__(self) -> int:
+        if self.ndim == 0:
+            raise TypeError("len() of a 0-d dataset")
+        return self.shape[0]
+
+    # -- reading ---------------------------------------------------------------
+    def __getitem__(self, selection: object) -> np.ndarray:
+        hs, squeeze = normalize_selection(selection, self.shape)
+        out = self.read_hyperslab(hs)
+        final_shape = selection_shape(hs, squeeze)
+        return out.reshape(final_shape)
+
+    def read(self) -> np.ndarray:
+        """Read the full dataset."""
+        return self.read_hyperslab(Hyperslab.full(self.shape))
+
+    def read_hyperslab(self, hs: Hyperslab) -> np.ndarray:
+        """Read a hyperslab; returns an array of shape ``hs.count``."""
+        if not hs.within(self.shape):
+            raise SelectionError(
+                f"hyperslab {hs} outside dataset shape {self.shape}"
+            )
+        layout = self.layout
+        if layout == LAYOUT_CONTIGUOUS:
+            return self._read_contiguous(hs)
+        if layout == LAYOUT_CHUNKED:
+            return self._read_chunked(hs)
+        if layout == LAYOUT_VIRTUAL:
+            return self._read_virtual(hs)
+        raise FormatError(f"unknown dataset layout {layout!r}")
+
+    def _read_contiguous(self, hs: Hyperslab) -> np.ndarray:
+        base = int(self._meta["offset"])
+        itemsize = self.itemsize
+        out = np.empty(hs.size, dtype=self.dtype)
+        view = memoryview(out.view(np.uint8)).cast("B")
+        cursor = 0
+        backend = self._file._backend
+        for elem_offset, elem_count in contiguous_runs(hs, self.shape):
+            nbytes = elem_count * itemsize
+            backend.readinto_at(
+                base + elem_offset * itemsize,
+                view[cursor : cursor + nbytes],
+            )
+            cursor += nbytes
+        return out.reshape(hs.count)
+
+    def _read_chunked(self, hs: Hyperslab) -> np.ndarray:
+        if any(s != 1 for s in hs.stride):
+            # Strided reads on chunked data: read the bounding unit-stride
+            # region, then subsample in memory.
+            bounding = Hyperslab(
+                start=hs.start,
+                count=tuple(
+                    (c - 1) * st + 1 for c, st in zip(hs.count, hs.stride)
+                ),
+                stride=tuple(1 for _ in hs.start),
+            )
+            block = self._read_chunked(bounding)
+            slicer = tuple(slice(None, None, st) for st in hs.stride)
+            return np.ascontiguousarray(block[slicer])
+
+        chunks = self.chunks
+        assert chunks is not None
+        out = np.empty(hs.count, dtype=self.dtype)
+        sel_slab = hs
+        index: dict[str, int] = self._meta["chunk_index"]
+        itemsize = self.itemsize
+        backend = self._file._backend
+
+        lo = [s // c for s, c in zip(hs.start, chunks)]
+        hi = [
+            (s + n - 1) // c for s, n, c in zip(hs.start, hs.count, chunks)
+        ]
+        coord = list(lo)
+        while True:
+            chunk_start = tuple(ci * c for ci, c in zip(coord, chunks))
+            chunk_count = tuple(
+                min(c, dim - cs)
+                for c, cs, dim in zip(chunks, chunk_start, self.shape)
+            )
+            chunk_slab = Hyperslab(
+                chunk_start, chunk_count, tuple(1 for _ in chunks)
+            )
+            overlap = intersect(sel_slab, chunk_slab)
+            if overlap is not None:
+                key = _chunk_key(coord)
+                if key not in index:
+                    raise FormatError(f"missing chunk {key} in {self.path}")
+                chunk_offset = int(index[key])
+                # Selection local to the chunk's own coordinates.
+                local = Hyperslab(
+                    start=tuple(
+                        o - cs for o, cs in zip(overlap.start, chunk_start)
+                    ),
+                    count=overlap.count,
+                    stride=tuple(1 for _ in chunks),
+                )
+                piece = np.empty(local.size, dtype=self.dtype)
+                view = memoryview(piece.view(np.uint8)).cast("B")
+                cursor = 0
+                for elem_offset, elem_count in contiguous_runs(local, chunk_count):
+                    nbytes = elem_count * itemsize
+                    backend.readinto_at(
+                        chunk_offset + elem_offset * itemsize,
+                        view[cursor : cursor + nbytes],
+                    )
+                    cursor += nbytes
+                dest = tuple(
+                    slice(o - s, o - s + n)
+                    for o, s, n in zip(overlap.start, hs.start, overlap.count)
+                )
+                out[dest] = piece.reshape(local.count)
+            # Odometer over chunk grid coordinates.
+            dim_idx = len(coord) - 1
+            while dim_idx >= 0:
+                coord[dim_idx] += 1
+                if coord[dim_idx] <= hi[dim_idx]:
+                    break
+                coord[dim_idx] = lo[dim_idx]
+                dim_idx -= 1
+            if dim_idx < 0:
+                break
+        return out
+
+    def _read_virtual(self, hs: Hyperslab) -> np.ndarray:
+        if any(s != 1 for s in hs.stride):
+            bounding = Hyperslab(
+                start=hs.start,
+                count=tuple(
+                    (c - 1) * st + 1 for c, st in zip(hs.count, hs.stride)
+                ),
+                stride=tuple(1 for _ in hs.start),
+            )
+            block = self._read_virtual(bounding)
+            slicer = tuple(slice(None, None, st) for st in hs.stride)
+            return np.ascontiguousarray(block[slicer])
+
+        fill = self._meta.get("fill", 0)
+        out = np.full(hs.count, fill, dtype=self.dtype)
+        for source in self.virtual_sources:
+            overlap = intersect(hs, source.dst_slab())
+            if overlap is None:
+                continue
+            src_slab = source.src_slab_for(overlap)
+            src_file = self._file._resolve_source(source.file)
+            src_ds = src_file.dataset(source.dataset)
+            piece = src_ds.read_hyperslab(src_slab)
+            dest = tuple(
+                slice(o - s, o - s + n)
+                for o, s, n in zip(overlap.start, hs.start, overlap.count)
+            )
+            out[dest] = piece.astype(self.dtype, copy=False)
+        return out
+
+    # -- writing ---------------------------------------------------------------
+    def __setitem__(self, selection: object, values: object) -> None:
+        hs, squeeze = normalize_selection(selection, self.shape)
+        arr = np.asarray(values, dtype=self.dtype)
+        target_shape = selection_shape(hs, squeeze)
+        arr = np.broadcast_to(arr, target_shape).reshape(hs.count)
+        self.write_hyperslab(hs, arr)
+
+    def write_hyperslab(self, hs: Hyperslab, values: np.ndarray) -> None:
+        """Write ``values`` (shape ``hs.count``) into the hyperslab."""
+        if not self._file.writable:
+            raise FormatError("file is not writable")
+        if self.layout != LAYOUT_CONTIGUOUS:
+            raise FormatError(
+                f"writes are only supported on contiguous datasets, not {self.layout}"
+            )
+        if not hs.within(self.shape):
+            raise SelectionError(
+                f"hyperslab {hs} outside dataset shape {self.shape}"
+            )
+        values = np.ascontiguousarray(values, dtype=self.dtype)
+        if values.shape != hs.count:
+            raise SelectionError(
+                f"value shape {values.shape} != selection shape {hs.count}"
+            )
+        base = int(self._meta["offset"])
+        itemsize = self.itemsize
+        flat = values.reshape(-1).view(np.uint8)
+        view = memoryview(flat).cast("B")
+        cursor = 0
+        backend = self._file._backend
+        for elem_offset, elem_count in contiguous_runs(hs, self.shape):
+            nbytes = elem_count * itemsize
+            backend.write_at(
+                base + elem_offset * itemsize,
+                view[cursor : cursor + nbytes],
+            )
+            cursor += nbytes
+
+    # -- streaming ---------------------------------------------------------------
+    def iter_blocks(self, rows_per_block: int):
+        """Stream the dataset as ``(row_slice, array)`` row blocks.
+
+        Lets callers process arrays larger than memory (RCA construction,
+        whole-day scans) one bounded block at a time.
+        """
+        if rows_per_block < 1:
+            raise SelectionError("rows_per_block must be >= 1")
+        if self.ndim == 0:
+            raise SelectionError("cannot iterate a 0-d dataset")
+        rows = self.shape[0]
+        for start in range(0, rows, rows_per_block):
+            stop = min(rows, start + rows_per_block)
+            hs = Hyperslab(
+                (start,) + (0,) * (self.ndim - 1),
+                (stop - start,) + self.shape[1:],
+                (1,) * self.ndim,
+            )
+            yield slice(start, stop), self.read_hyperslab(hs)
+
+    # -- conversion --------------------------------------------------------------
+    def __array__(self, dtype: object = None, copy: object = None) -> np.ndarray:
+        arr = self.read()
+        if dtype is not None:
+            arr = arr.astype(dtype, copy=False)
+        return arr

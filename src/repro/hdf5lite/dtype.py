@@ -1,0 +1,74 @@
+"""Dtype registry for hdf5lite.
+
+Datasets are stored as raw little-endian C-ordered buffers; the metadata
+footer records a dtype token.  Only fixed-width numeric types are allowed —
+the same restriction the DAS acquisition format has in practice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError
+
+#: dtype tokens permitted in a file (little-endian, fixed width).
+SUPPORTED_DTYPES = {
+    "<i1",
+    "<i2",
+    "<i4",
+    "<i8",
+    "<u1",
+    "<u2",
+    "<u4",
+    "<u8",
+    "<f4",
+    "<f8",
+    "<c8",
+    "<c16",
+}
+
+_ALIASES = {
+    "|i1": "<i1",
+    "|u1": "<u1",
+    "int8": "<i1",
+    "int16": "<i2",
+    "int32": "<i4",
+    "int64": "<i8",
+    "uint8": "<u1",
+    "uint16": "<u2",
+    "uint32": "<u4",
+    "uint64": "<u8",
+    "float32": "<f4",
+    "float64": "<f8",
+    "complex64": "<c8",
+    "complex128": "<c16",
+}
+
+
+def dtype_token(dtype: object) -> str:
+    """Canonical on-disk token for a numpy dtype (or dtype-like).
+
+    >>> dtype_token(np.float32)
+    '<f4'
+    """
+    dt = np.dtype(dtype)
+    token = dt.str
+    token = _ALIASES.get(token, token)
+    if token not in SUPPORTED_DTYPES:
+        raise FormatError(
+            f"dtype {dt} is not supported by hdf5lite; "
+            f"use one of {sorted(SUPPORTED_DTYPES)}"
+        )
+    return token
+
+
+def token_dtype(token: str) -> np.dtype:
+    """Numpy dtype for an on-disk token."""
+    token = _ALIASES.get(token, token)
+    if token not in SUPPORTED_DTYPES:
+        raise FormatError(f"unknown dtype token {token!r}")
+    return np.dtype(token)
+
+
+def itemsize(token: str) -> int:
+    return token_dtype(token).itemsize

@@ -1,0 +1,383 @@
+"""File and Group objects — the user-facing hdf5lite API.
+
+A file holds a tree of groups; each group holds attributes, child groups,
+and datasets.  The tree is kept in memory as plain dicts (mirroring the
+JSON metadata footer) and flushed on close.
+
+Example::
+
+    with File("minute.h5", "w") as f:
+        f.attrs["SamplingFrequency(HZ)"] = 500
+        ds = f.create_dataset("DataCT", data=array_2d)
+        ch = f.create_group("Measurement/1")
+        ch.attrs["Array dimension"] = 1
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.hdf5lite import dtype as _dtype
+from repro.hdf5lite.attributes import Attributes
+from repro.hdf5lite.binary import FORMAT_VERSION, HEADER_SIZE, FileBackend, Header
+from repro.hdf5lite.dataset import (
+    LAYOUT_CHUNKED,
+    LAYOUT_CONTIGUOUS,
+    LAYOUT_VIRTUAL,
+    Dataset,
+    _chunk_key,
+)
+from repro.hdf5lite.virtual import VirtualSource, validate_sources
+from repro.utils.iostats import IOStats
+
+
+def _empty_node() -> dict[str, Any]:
+    return {"attrs": {}, "groups": {}, "datasets": {}}
+
+
+def _split_path(path: str) -> list[str]:
+    parts = [p for p in path.strip("/").split("/") if p]
+    for part in parts:
+        if part in (".", ".."):
+            raise FormatError(f"invalid path component {part!r}")
+    return parts
+
+
+class Group:
+    """A node in the file's group tree."""
+
+    def __init__(self, file: "File", path: str, node: dict[str, Any]):
+        self._file = file
+        self.path = path or "/"
+        self._node = node
+        self.attrs = Attributes(
+            node.setdefault("attrs", {}),
+            on_change=file._mark_dirty,
+            writable=file.writable,
+        )
+        self._node["attrs"] = self.attrs._data
+
+    def _child_path(self, name: str) -> str:
+        if self.path == "/":
+            return "/" + name
+        return self.path + "/" + name
+
+    # -- navigation ------------------------------------------------------------
+    def __contains__(self, path: str) -> bool:
+        try:
+            self[path]
+            return True
+        except KeyError:
+            return False
+
+    def __getitem__(self, path: str) -> "Group | Dataset":
+        parts = _split_path(path)
+        if not parts:
+            return self
+        node = self._node
+        walked = self.path.rstrip("/")
+        for i, part in enumerate(parts):
+            is_last = i == len(parts) - 1
+            if is_last and part in node["datasets"]:
+                return self._file._dataset_for(
+                    walked + "/" + part, node["datasets"][part]
+                )
+            if part in node["groups"]:
+                node = node["groups"][part]
+                walked = walked + "/" + part
+            else:
+                raise KeyError(f"no such group or dataset: {path!r}")
+        return Group(self._file, walked, node)
+
+    def keys(self) -> list[str]:
+        return sorted(self._node["groups"].keys() | self._node["datasets"].keys())
+
+    def groups(self) -> list[str]:
+        return sorted(self._node["groups"])
+
+    def datasets(self) -> list[str]:
+        return sorted(self._node["datasets"])
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        return len(self._node["groups"]) + len(self._node["datasets"])
+
+    def visit(self) -> Iterator[str]:
+        """Depth-first iteration of all descendant paths."""
+        for name in self.keys():
+            child = self[name]
+            yield child.path
+            if isinstance(child, Group):
+                yield from child.visit()
+
+    # -- creation ---------------------------------------------------------------
+    def create_group(self, path: str) -> "Group":
+        """Create (or descend into existing) groups along ``path``."""
+        if not self._file.writable:
+            raise FormatError("file is not writable")
+        parts = _split_path(path)
+        if not parts:
+            raise FormatError("empty group name")
+        node = self._node
+        walked = self.path.rstrip("/")
+        for part in parts:
+            if part in node["datasets"]:
+                raise FormatError(f"{walked}/{part} is a dataset, not a group")
+            node = node["groups"].setdefault(part, _empty_node())
+            walked = walked + "/" + part
+        self._file._mark_dirty()
+        return Group(self._file, walked, node)
+
+    def require_group(self, path: str) -> "Group":
+        try:
+            existing = self[path]
+        except KeyError:
+            return self.create_group(path)
+        if not isinstance(existing, Group):
+            raise FormatError(f"{path!r} exists and is not a group")
+        return existing
+
+    def create_dataset(
+        self,
+        name: str,
+        data: object = None,
+        shape: Sequence[int] | None = None,
+        dtype: object = None,
+        chunks: Sequence[int] | None = None,
+        virtual_sources: Sequence[VirtualSource] | None = None,
+        fill: float = 0,
+    ) -> Dataset:
+        """Create a dataset under this group.
+
+        Exactly one of the three layouts is chosen:
+
+        * ``virtual_sources`` given → virtual dataset (``shape`` required),
+        * ``chunks`` given → chunked (``data`` required),
+        * otherwise → contiguous (``data`` or ``shape``+``dtype``).
+        """
+        if not self._file.writable:
+            raise FormatError("file is not writable")
+        parts = _split_path(name)
+        if not parts:
+            raise FormatError("empty dataset name")
+        *group_parts, ds_name = parts
+        parent = self.create_group("/".join(group_parts)) if group_parts else self
+        if ds_name in parent._node["datasets"] or ds_name in parent._node["groups"]:
+            raise FormatError(f"object {ds_name!r} already exists in {parent.path}")
+
+        if virtual_sources is not None:
+            if shape is None:
+                raise FormatError("virtual datasets require an explicit shape")
+            token = _dtype.dtype_token(dtype if dtype is not None else np.float32)
+            sources = list(virtual_sources)
+            validate_sources(shape, sources)
+            meta: dict[str, Any] = {
+                "shape": [int(s) for s in shape],
+                "dtype": token,
+                "layout": LAYOUT_VIRTUAL,
+                "sources": [s.to_dict() for s in sources],
+                "fill": fill,
+                "attrs": {},
+            }
+        elif chunks is not None:
+            if data is None:
+                raise FormatError("chunked datasets require data at creation")
+            arr = np.ascontiguousarray(data)
+            token = _dtype.dtype_token(dtype if dtype is not None else arr.dtype)
+            arr = arr.astype(_dtype.token_dtype(token), copy=False)
+            chunks = tuple(int(c) for c in chunks)
+            if len(chunks) != arr.ndim or any(c <= 0 for c in chunks):
+                raise FormatError(
+                    f"chunk shape {chunks} invalid for data of rank {arr.ndim}"
+                )
+            index: dict[str, int] = {}
+            grid = [
+                (dim + c - 1) // c for dim, c in zip(arr.shape, chunks)
+            ]
+            coord = [0] * arr.ndim
+            while True:
+                slicer = tuple(
+                    slice(ci * c, min((ci + 1) * c, dim))
+                    for ci, c, dim in zip(coord, chunks, arr.shape)
+                )
+                chunk_data = np.ascontiguousarray(arr[slicer])
+                offset = self._file._append_data(chunk_data.tobytes())
+                index[_chunk_key(coord)] = offset
+                dim_idx = arr.ndim - 1
+                while dim_idx >= 0:
+                    coord[dim_idx] += 1
+                    if coord[dim_idx] < grid[dim_idx]:
+                        break
+                    coord[dim_idx] = 0
+                    dim_idx -= 1
+                if dim_idx < 0 or arr.ndim == 0:
+                    break
+            meta = {
+                "shape": [int(s) for s in arr.shape],
+                "dtype": token,
+                "layout": LAYOUT_CHUNKED,
+                "chunks": list(chunks),
+                "chunk_index": index,
+                "attrs": {},
+            }
+        else:
+            if data is not None:
+                arr = np.ascontiguousarray(data)
+                token = _dtype.dtype_token(dtype if dtype is not None else arr.dtype)
+                arr = arr.astype(_dtype.token_dtype(token), copy=False)
+                if shape is not None and tuple(shape) != arr.shape:
+                    raise FormatError(
+                        f"shape {tuple(shape)} contradicts data shape {arr.shape}"
+                    )
+                offset = self._file._append_data(arr.tobytes())
+                final_shape = arr.shape
+            else:
+                if shape is None:
+                    raise FormatError("need data or shape to create a dataset")
+                token = _dtype.dtype_token(dtype if dtype is not None else np.float32)
+                nbytes = int(np.prod(shape, dtype=np.int64)) * _dtype.itemsize(token)
+                offset = self._file._append_data(bytes(nbytes))
+                final_shape = tuple(int(s) for s in shape)
+            meta = {
+                "shape": [int(s) for s in final_shape],
+                "dtype": token,
+                "layout": LAYOUT_CONTIGUOUS,
+                "offset": offset,
+                "attrs": {},
+            }
+
+        parent._node["datasets"][ds_name] = meta
+        self._file._mark_dirty()
+        return self._file._dataset_for(parent._child_path(ds_name), meta)
+
+    def __repr__(self) -> str:
+        return f"<Group {self.path!r} ({len(self)} members)>"
+
+
+class File(Group):
+    """An hdf5lite file handle (also the root group).
+
+    Modes: ``"r"`` read-only, ``"r+"`` read-write existing, ``"w"``
+    create/truncate, ``"a"`` read-write, creating if missing.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        mode: str = "r",
+        iostats: IOStats | None = None,
+    ):
+        path = os.fspath(path)
+        if mode == "a":
+            mode = "r+" if os.path.exists(path) else "w"
+        if mode not in ("r", "r+", "w"):
+            raise ValueError(f"unsupported file mode {mode!r}")
+        self.filename = path
+        self.mode = mode
+        self.writable = mode != "r"
+        self._dirty = False
+        self._source_cache: dict[str, File] = {}
+
+        if mode == "w":
+            self._backend = FileBackend(path, "w+b", iostats)
+            self._backend.write_header(Header(FORMAT_VERSION, HEADER_SIZE, 0))
+            self._data_end = HEADER_SIZE
+            root = _empty_node()
+        else:
+            backend_mode = "rb" if mode == "r" else "r+b"
+            self._backend = FileBackend(path, backend_mode, iostats)
+            header = self._backend.read_header()
+            if header.meta_len == 0:
+                root = _empty_node()
+                self._data_end = header.meta_offset
+            else:
+                raw = self._backend.read_at(header.meta_offset, header.meta_len)
+                try:
+                    root = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise FormatError(f"corrupt metadata footer: {exc}") from exc
+                self._data_end = header.meta_offset
+
+        super().__init__(self, "/", root)
+
+    # -- plumbing used by Group/Dataset ------------------------------------------
+    def _mark_dirty(self) -> None:
+        self._dirty = True
+
+    def _append_data(self, payload: bytes) -> int:
+        """Append raw dataset bytes to the data region; return the offset."""
+        offset = self._data_end
+        self._backend.write_at(offset, payload)
+        self._data_end = offset + len(payload)
+        self._dirty = True
+        return offset
+
+    def _dataset_for(self, path: str, meta: dict[str, Any]) -> Dataset:
+        return Dataset(self, path, meta)
+
+    def _resolve_source(self, source_path: str) -> "File":
+        """Open (and cache) a source file referenced by a virtual dataset."""
+        if not os.path.isabs(source_path):
+            source_path = os.path.join(os.path.dirname(self.filename), source_path)
+        source_path = os.path.normpath(source_path)
+        cached = self._source_cache.get(source_path)
+        if cached is not None and not cached._backend.closed:
+            return cached
+        src = File(source_path, "r", iostats=self._backend.iostats)
+        self._source_cache[source_path] = src
+        return src
+
+    def dataset(self, path: str) -> Dataset:
+        """Fetch a dataset by absolute path, with a clear error otherwise."""
+        obj = self[path]
+        if not isinstance(obj, Dataset):
+            raise FormatError(f"{path!r} is a group, not a dataset")
+        return obj
+
+    # -- lifecycle ---------------------------------------------------------------
+    @property
+    def iostats(self) -> IOStats:
+        return self._backend.iostats
+
+    def flush(self) -> None:
+        """Write the metadata footer and header if anything changed."""
+        if not self.writable or not self._dirty:
+            return
+        payload = json.dumps(self._node, separators=(",", ":")).encode("utf-8")
+        self._backend.write_at(self._data_end, payload)
+        self._backend.truncate(self._data_end + len(payload))
+        self._backend.write_header(
+            Header(FORMAT_VERSION, self._data_end, len(payload))
+        )
+        self._backend.flush()
+        self._dirty = False
+
+    def close(self) -> None:
+        if self._backend.closed:
+            return
+        for src in self._source_cache.values():
+            src.close()
+        self._source_cache.clear()
+        self.flush()
+        self._backend.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._backend.closed
+
+    def __enter__(self) -> "File":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"mode={self.mode!r}"
+        return f"<File {self.filename!r} {state}>"

@@ -1,0 +1,256 @@
+"""Hyperslab selection algebra.
+
+A *hyperslab* is a regular N-dimensional selection described per dimension
+by ``(start, count, stride)`` — the same model as HDF5's hyperslab and the
+paper's Logical Array View (LAV).  This module converts numpy-style basic
+indexing into hyperslabs, computes result shapes, intersects hyperslabs
+(needed by virtual datasets / VCA), and linearises selections into
+contiguous byte runs for minimal-I/O reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import SelectionError
+
+
+@dataclass(frozen=True)
+class Hyperslab:
+    """A regular selection: per-dimension ``(start, count, stride)``.
+
+    ``stride`` is in elements of the underlying dimension; ``count`` is the
+    number of selected elements along that dimension.
+    """
+
+    start: tuple[int, ...]
+    count: tuple[int, ...]
+    stride: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.start) == len(self.count) == len(self.stride)):
+            raise SelectionError("start/count/stride rank mismatch")
+        for s, c, st in zip(self.start, self.count, self.stride):
+            if s < 0 or c < 0 or st < 1:
+                raise SelectionError(
+                    f"invalid hyperslab component start={s} count={c} stride={st}"
+                )
+
+    @property
+    def ndim(self) -> int:
+        return len(self.start)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.count
+
+    @property
+    def size(self) -> int:
+        size = 1
+        for c in self.count:
+            size *= c
+        return size
+
+    def end(self) -> tuple[int, ...]:
+        """Exclusive upper bound touched along each dimension."""
+        return tuple(
+            s + (c - 1) * st + 1 if c > 0 else s
+            for s, c, st in zip(self.start, self.count, self.stride)
+        )
+
+    def within(self, shape: Sequence[int]) -> bool:
+        """True if the selection fits inside an array of ``shape``."""
+        if len(shape) != self.ndim:
+            return False
+        return all(e <= dim for e, dim in zip(self.end(), shape))
+
+    def indices(self, dim: int) -> range:
+        """The selected indices along dimension ``dim``."""
+        s, c, st = self.start[dim], self.count[dim], self.stride[dim]
+        return range(s, s + c * st, st)
+
+    @classmethod
+    def full(cls, shape: Sequence[int]) -> "Hyperslab":
+        """The hyperslab selecting an entire array of ``shape``."""
+        return cls(
+            start=tuple(0 for _ in shape),
+            count=tuple(int(d) for d in shape),
+            stride=tuple(1 for _ in shape),
+        )
+
+
+def normalize_selection(
+    selection: object, shape: Sequence[int]
+) -> tuple[Hyperslab, tuple[int, ...]]:
+    """Convert numpy-style basic indexing into a :class:`Hyperslab`.
+
+    Supports integers, slices (with step), ``Ellipsis``, and tuples thereof.
+    Returns ``(hyperslab, squeeze_axes)`` where ``squeeze_axes`` are the
+    dimensions indexed by a scalar (removed from the result shape, matching
+    numpy semantics).
+
+    >>> hs, squeeze = normalize_selection((3, slice(0, 10, 2)), (10, 20))
+    >>> hs.start, hs.count, hs.stride
+    ((3, 0), (1, 5), (1, 2))
+    >>> squeeze
+    (0,)
+    """
+    ndim = len(shape)
+    if not isinstance(selection, tuple):
+        selection = (selection,)
+
+    # Expand a single Ellipsis into full slices.
+    n_ellipsis = sum(1 for s in selection if s is Ellipsis)
+    if n_ellipsis > 1:
+        raise SelectionError("at most one Ellipsis allowed in a selection")
+    if n_ellipsis == 1:
+        idx = selection.index(Ellipsis)
+        fill = ndim - (len(selection) - 1)
+        if fill < 0:
+            raise SelectionError(f"too many indices for shape {tuple(shape)}")
+        selection = selection[:idx] + (slice(None),) * fill + selection[idx + 1 :]
+
+    if len(selection) > ndim:
+        raise SelectionError(
+            f"too many indices ({len(selection)}) for shape {tuple(shape)}"
+        )
+    selection = selection + (slice(None),) * (ndim - len(selection))
+
+    start: list[int] = []
+    count: list[int] = []
+    stride: list[int] = []
+    squeeze: list[int] = []
+    for dim, (sel, size) in enumerate(zip(selection, shape)):
+        if isinstance(sel, bool):
+            raise SelectionError("boolean indexing is unsupported")
+        elif isinstance(sel, int) or (
+            not isinstance(sel, slice) and hasattr(sel, "__index__")
+        ):
+            index = int(sel.__index__()) if hasattr(sel, "__index__") else int(sel)
+            if index < 0:
+                index += size
+            if not (0 <= index < size):
+                raise SelectionError(
+                    f"index {sel} out of bounds for dimension {dim} of size {size}"
+                )
+            start.append(index)
+            count.append(1)
+            stride.append(1)
+            squeeze.append(dim)
+        elif isinstance(sel, slice):
+            s, e, st = sel.indices(size)
+            if st <= 0:
+                raise SelectionError("negative or zero slice steps are unsupported")
+            n = max(0, (e - s + st - 1) // st)
+            start.append(s)
+            count.append(n)
+            stride.append(st)
+        else:
+            raise SelectionError(
+                f"unsupported selection component {sel!r}; only integers, "
+                "slices and Ellipsis are supported"
+            )
+
+    return Hyperslab(tuple(start), tuple(count), tuple(stride)), tuple(squeeze)
+
+
+def selection_shape(hs: Hyperslab, squeeze: tuple[int, ...]) -> tuple[int, ...]:
+    """Result shape after applying a selection (numpy squeeze semantics)."""
+    return tuple(c for dim, c in enumerate(hs.count) if dim not in squeeze)
+
+
+def contiguous_runs(
+    hs: Hyperslab, shape: Sequence[int]
+) -> Iterator[tuple[int, int]]:
+    """Linearise a hyperslab over a C-ordered array into contiguous runs.
+
+    Yields ``(element_offset, element_count)`` pairs covering the selection
+    in row-major order of the *result* array.  Adjacent runs are coalesced,
+    so a full-array selection yields a single run.  Each run corresponds to
+    one seek + one read against the file — the quantity the paper's I/O
+    analysis counts.
+    """
+    ndim = len(shape)
+    if hs.ndim != ndim:
+        raise SelectionError("hyperslab rank does not match array rank")
+    if not hs.within(shape):
+        raise SelectionError(
+            f"hyperslab {hs} does not fit within array shape {tuple(shape)}"
+        )
+    if hs.size == 0:
+        return
+
+    # Row-major strides in elements.
+    elem_strides = [1] * ndim
+    for dim in range(ndim - 2, -1, -1):
+        elem_strides[dim] = elem_strides[dim + 1] * shape[dim + 1]
+
+    # The innermost selected run: if the last dim has stride 1, a run of
+    # hs.count[-1] elements; otherwise single elements.
+    if hs.stride[-1] == 1:
+        inner_len = hs.count[-1]
+        inner_positions = [hs.start[-1]]
+    else:
+        inner_len = 1
+        inner_positions = list(hs.indices(ndim - 1))
+
+    # Iterate the outer dims in row-major order.
+    outer_dims = list(range(ndim - 1))
+    pending_offset = -1
+    pending_len = 0
+
+    def emit_runs() -> Iterator[tuple[int, int]]:
+        nonlocal pending_offset, pending_len
+        counters = [0] * len(outer_dims)
+        while True:
+            base = 0
+            for dim, ctr in zip(outer_dims, counters):
+                base += (hs.start[dim] + ctr * hs.stride[dim]) * elem_strides[dim]
+            for pos in inner_positions:
+                offset = base + pos
+                if pending_len and offset == pending_offset + pending_len:
+                    pending_len += inner_len
+                else:
+                    if pending_len:
+                        yield (pending_offset, pending_len)
+                    pending_offset = offset
+                    pending_len = inner_len
+            # Odometer increment over outer dims (row-major: last spins fastest).
+            if not outer_dims:
+                break
+            dim_idx = len(outer_dims) - 1
+            while dim_idx >= 0:
+                counters[dim_idx] += 1
+                if counters[dim_idx] < hs.count[outer_dims[dim_idx]]:
+                    break
+                counters[dim_idx] = 0
+                dim_idx -= 1
+            if dim_idx < 0:
+                break
+        if pending_len:
+            yield (pending_offset, pending_len)
+
+    yield from emit_runs()
+
+
+def intersect(a: Hyperslab, b: Hyperslab) -> Hyperslab | None:
+    """Intersect two unit-stride hyperslabs; ``None`` if disjoint.
+
+    Virtual-dataset mapping (and hence VCA) only needs unit strides, so
+    strided intersection is intentionally not implemented.
+    """
+    if a.ndim != b.ndim:
+        raise SelectionError("cannot intersect hyperslabs of different rank")
+    if any(s != 1 for s in a.stride) or any(s != 1 for s in b.stride):
+        raise SelectionError("intersect requires unit-stride hyperslabs")
+    start: list[int] = []
+    count: list[int] = []
+    for dim in range(a.ndim):
+        lo = max(a.start[dim], b.start[dim])
+        hi = min(a.start[dim] + a.count[dim], b.start[dim] + b.count[dim])
+        if hi <= lo:
+            return None
+        start.append(lo)
+        count.append(hi - lo)
+    return Hyperslab(tuple(start), tuple(count), tuple(1 for _ in start))

@@ -1,0 +1,159 @@
+"""File inspection and integrity checking (an ``h5ls``/``h5check`` lite).
+
+``describe`` renders a file's tree; ``verify`` walks every object and
+checks the structural invariants a reader relies on — dataset extents
+inside the data region, chunk indexes complete, virtual sources
+resolvable — returning a list of problems instead of raising, so
+operators can triage a damaged acquisition directory.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import FormatError
+from repro.hdf5lite.binary import HEADER_SIZE
+from repro.hdf5lite.dataset import (
+    LAYOUT_CHUNKED,
+    LAYOUT_CONTIGUOUS,
+    LAYOUT_VIRTUAL,
+    Dataset,
+)
+from repro.hdf5lite.file import File, Group
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One integrity finding."""
+
+    path: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.path}: {self.message}"
+
+
+def describe(file: File, attrs: bool = False) -> str:
+    """A human-readable tree listing of a file."""
+    lines = [f"{file.filename} (hdf5lite)"]
+
+    def emit_attrs(obj, indent: str) -> None:
+        if attrs:
+            for key in sorted(obj.attrs):
+                lines.append(f"{indent}@ {key} = {obj.attrs[key]!r}")
+
+    def walk(group: Group, indent: str) -> None:
+        emit_attrs(group, indent)
+        for name in group.keys():
+            child = group[name]
+            if isinstance(child, Dataset):
+                extra = ""
+                if child.layout == LAYOUT_CHUNKED:
+                    extra = f" chunks={child.chunks}"
+                elif child.layout == LAYOUT_VIRTUAL:
+                    extra = f" sources={len(child.virtual_sources)}"
+                lines.append(
+                    f"{indent}{name}  dataset {child.shape} {child.dtype}"
+                    f" [{child.layout}]{extra}"
+                )
+                emit_attrs(child, indent + "  ")
+            else:
+                lines.append(f"{indent}{name}/")
+                walk(child, indent + "  ")
+
+    walk(file, "  ")
+    return "\n".join(lines)
+
+
+def verify(file: File, check_sources: bool = True) -> list[Problem]:
+    """Check a file's structural integrity; returns found problems."""
+    problems: list[Problem] = []
+    file_size = file._backend.size()
+    data_end = file._data_end
+
+    def check_dataset(ds: Dataset) -> None:
+        layout = ds.layout
+        nbytes = ds.nbytes
+        if layout == LAYOUT_CONTIGUOUS:
+            offset = int(ds._meta["offset"])
+            if offset < HEADER_SIZE:
+                problems.append(Problem(ds.path, "data overlaps the header"))
+            if offset + nbytes > data_end or offset + nbytes > file_size:
+                problems.append(
+                    Problem(
+                        ds.path,
+                        f"extent [{offset}, {offset + nbytes}) exceeds the "
+                        f"data region (ends at {min(data_end, file_size)})",
+                    )
+                )
+        elif layout == LAYOUT_CHUNKED:
+            chunks = ds.chunks
+            assert chunks is not None
+            grid = [
+                (dim + c - 1) // c for dim, c in zip(ds.shape, chunks)
+            ]
+            expected = 1
+            for g in grid:
+                expected *= g
+            index = ds._meta.get("chunk_index", {})
+            if len(index) != expected:
+                problems.append(
+                    Problem(
+                        ds.path,
+                        f"chunk index has {len(index)} entries, expected {expected}",
+                    )
+                )
+            chunk_bytes = ds.itemsize
+            for c in chunks:
+                chunk_bytes *= c
+            for key, offset in index.items():
+                if not (HEADER_SIZE <= int(offset) < data_end):
+                    problems.append(
+                        Problem(ds.path, f"chunk {key} offset {offset} out of range")
+                    )
+        elif layout == LAYOUT_VIRTUAL:
+            for source in ds.virtual_sources:
+                if not check_sources:
+                    continue
+                path = source.file
+                if not os.path.isabs(path):
+                    path = os.path.join(os.path.dirname(file.filename), path)
+                if not os.path.exists(path):
+                    problems.append(
+                        Problem(ds.path, f"missing source file {source.file!r}")
+                    )
+                    continue
+                try:
+                    with File(path, "r") as src:
+                        src_ds = src.dataset(source.dataset)
+                        for dim in range(source.ndim):
+                            if (
+                                source.src_start[dim] + source.count[dim]
+                                > src_ds.shape[dim]
+                            ):
+                                problems.append(
+                                    Problem(
+                                        ds.path,
+                                        f"source {source.file!r} region exceeds "
+                                        f"its shape {src_ds.shape}",
+                                    )
+                                )
+                                break
+                except (FormatError, KeyError) as exc:
+                    problems.append(
+                        Problem(ds.path, f"unreadable source {source.file!r}: {exc}")
+                    )
+        else:
+            problems.append(Problem(ds.path, f"unknown layout {layout!r}"))
+
+    def walk(group: Group) -> None:
+        for name in group.keys():
+            child = group[name]
+            if isinstance(child, Dataset):
+                check_dataset(child)
+            else:
+                walk(child)
+
+    walk(file)
+    return problems

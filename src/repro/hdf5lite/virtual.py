@@ -1,0 +1,104 @@
+"""Virtual dataset source mappings.
+
+A virtual dataset stitches rectangular regions of datasets stored in
+*other* files into one logical array.  Each :class:`VirtualSource` maps a
+``count``-shaped block starting at ``src_start`` in the source dataset onto
+the region starting at ``dst_start`` in the virtual array.
+
+This is the storage mechanism behind the paper's Virtually Concatenated
+Array (VCA): a VCA over ``n`` one-minute DAS files is a virtual dataset
+with ``n`` sources laid end-to-end along the time axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import FormatError
+from repro.hdf5lite.hyperslab import Hyperslab
+
+
+@dataclass(frozen=True)
+class VirtualSource:
+    """One rectangular region mapping of a virtual dataset."""
+
+    file: str
+    dataset: str
+    src_start: tuple[int, ...]
+    dst_start: tuple[int, ...]
+    count: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.src_start) == len(self.dst_start) == len(self.count)):
+            raise FormatError("virtual source rank mismatch")
+        if any(c <= 0 for c in self.count):
+            raise FormatError("virtual source regions must be non-empty")
+        if any(s < 0 for s in self.src_start) or any(d < 0 for d in self.dst_start):
+            raise FormatError("virtual source offsets must be non-negative")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.count)
+
+    def dst_slab(self) -> Hyperslab:
+        """The destination region as a unit-stride hyperslab."""
+        return Hyperslab(
+            start=self.dst_start,
+            count=self.count,
+            stride=tuple(1 for _ in self.count),
+        )
+
+    def src_slab_for(self, dst_region: Hyperslab) -> Hyperslab:
+        """Translate a destination sub-region into source coordinates.
+
+        ``dst_region`` must lie entirely within this source's destination
+        region (callers intersect first).
+        """
+        start = []
+        for dim in range(self.ndim):
+            rel = dst_region.start[dim] - self.dst_start[dim]
+            if rel < 0 or rel + dst_region.count[dim] > self.count[dim]:
+                raise FormatError("destination region escapes the source mapping")
+            start.append(self.src_start[dim] + rel)
+        return Hyperslab(
+            start=tuple(start),
+            count=dst_region.count,
+            stride=tuple(1 for _ in start),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "file": self.file,
+            "dataset": self.dataset,
+            "src_start": list(self.src_start),
+            "dst_start": list(self.dst_start),
+            "count": list(self.count),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "VirtualSource":
+        return cls(
+            file=raw["file"],
+            dataset=raw["dataset"],
+            src_start=tuple(int(v) for v in raw["src_start"]),
+            dst_start=tuple(int(v) for v in raw["dst_start"]),
+            count=tuple(int(v) for v in raw["count"]),
+        )
+
+
+def validate_sources(
+    shape: Sequence[int], sources: Sequence[VirtualSource]
+) -> None:
+    """Check every source's destination region fits within ``shape``."""
+    for src in sources:
+        if src.ndim != len(shape):
+            raise FormatError(
+                f"virtual source rank {src.ndim} != dataset rank {len(shape)}"
+            )
+        for dim in range(src.ndim):
+            if src.dst_start[dim] + src.count[dim] > shape[dim]:
+                raise FormatError(
+                    f"virtual source {src.file}:{src.dataset} exceeds dataset "
+                    f"shape {tuple(shape)} along dimension {dim}"
+                )

@@ -1,0 +1,47 @@
+"""simmpi — a simulated MPI runtime.
+
+Runs P ranks as threads inside one process (SPMD), with:
+
+* real message passing (mailboxes with ``(source, tag)`` matching),
+* the collective set DASSA needs (barrier, bcast, scatter/gather,
+  allgather, alltoall(v), reduce/allreduce),
+* a **virtual clock per rank** advanced by the cluster's network cost
+  model, so a run reports the simulated communication time the paper's
+  experiments measure, while the data movement itself is executed for
+  real and verified by tests,
+* per-op tracing (used to check the discrete-event evaluation of the
+  same algorithms at scales too large to thread).
+
+The API mirrors mpi4py's: lowercase methods move Python objects,
+uppercase methods move numpy buffers.
+
+Example::
+
+    from repro.simmpi import run_spmd
+
+    def hello(comm):
+        return comm.allreduce(comm.rank)
+
+    result = run_spmd(hello, size=4)
+    assert result.results == [6, 6, 6, 6]
+"""
+
+from repro.simmpi.communicator import ANY_SOURCE, ANY_TAG, Communicator
+from repro.simmpi.executor import SPMDResult, run_spmd
+from repro.simmpi.reduce_ops import MAX, MIN, PROD, SUM
+from repro.simmpi.request import Request
+from repro.simmpi.tracing import TraceEvent
+
+__all__ = [
+    "Communicator",
+    "Request",
+    "run_spmd",
+    "SPMDResult",
+    "TraceEvent",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "SUM",
+    "MAX",
+    "MIN",
+    "PROD",
+]

@@ -1,0 +1,387 @@
+"""The Communicator: mpi4py-style API over the simulated fabric.
+
+Data movement is real (objects/arrays actually travel between rank
+threads); *time* is virtual, charged per operation from the cluster's
+:class:`~repro.cluster.network.NetworkModel` and reconciled across ranks
+with the happens-before rule (a receive completes no earlier than its
+matching send; a collective starts at the latest participant's entry).
+
+Because ranks are threads in one address space, received objects are not
+deep-copied; user code must treat received buffers as read-only or copy
+them — the same discipline MPI codes apply to shared windows.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.cluster.machine import ClusterSpec
+from repro.cluster.network import NetworkModel
+from repro.errors import MPIError
+from repro.simmpi.fabric import ANY_SOURCE, ANY_TAG, Fabric, Message
+from repro.simmpi.reduce_ops import SUM, ReduceOp
+from repro.simmpi.tracing import Tracer
+from repro.utils.timer import VirtualTimer
+
+__all__ = ["Communicator", "ANY_SOURCE", "ANY_TAG", "payload_nbytes"]
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Estimate the wire size of a payload.
+
+    Arrays and bytes are exact; other objects use their pickle length
+    (what mpi4py's lowercase API would actually ship).
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)) and all(
+        isinstance(item, np.ndarray) for item in obj
+    ):
+        return sum(item.nbytes for item in obj)
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # unpicklable: charge a token size
+        return 64
+
+
+class Communicator:
+    """One rank's endpoint of the simulated communicator."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        fabric: Fabric,
+        clock: VirtualTimer | None = None,
+        network: NetworkModel | None = None,
+        cluster: ClusterSpec | None = None,
+        ranks_per_node: int | None = None,
+        tracer: Tracer | None = None,
+        recv_timeout: float = 60.0,
+    ):
+        if not (0 <= rank < size):
+            raise MPIError(f"rank {rank} out of range for size {size}")
+        self.rank = rank
+        self.size = size
+        self._fabric = fabric
+        self.clock = clock if clock is not None else VirtualTimer()
+        self._network = network if network is not None else (
+            cluster.network if cluster is not None else NetworkModel()
+        )
+        self._cluster = cluster
+        self._ranks_per_node = (
+            ranks_per_node if ranks_per_node is not None else size
+        )
+        self.tracer = tracer if tracer is not None else Tracer(rank)
+        self._recv_timeout = recv_timeout
+
+    # -- topology helpers ----------------------------------------------------------
+    @property
+    def node(self) -> int:
+        """The node this rank runs on (block mapping)."""
+        if self._cluster is not None:
+            return self._cluster.node_of_rank(self.rank, self._ranks_per_node)
+        return self.rank // self._ranks_per_node
+
+    def same_node(self, other_rank: int) -> bool:
+        if self._cluster is not None:
+            return self._cluster.same_node(self.rank, other_rank, self._ranks_per_node)
+        return self.rank // self._ranks_per_node == other_rank // self._ranks_per_node
+
+    # -- point-to-point -------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking eager send of a Python object / numpy array."""
+        if dest == self.rank:
+            raise MPIError("send to self would deadlock; use a local variable")
+        nbytes = payload_nbytes(obj)
+        t_start = self.clock.now
+        self.clock.advance(
+            self._network.p2p_time(nbytes, self.same_node(dest)), phase="comm"
+        )
+        self._fabric.post(
+            dest,
+            Message(
+                source=self.rank,
+                tag=tag,
+                payload=obj,
+                nbytes=nbytes,
+                send_time=self.clock.now,
+            ),
+        )
+        self.tracer.record("send", nbytes, dest, t_start, self.clock.now)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive; returns the payload."""
+        t_start = self.clock.now
+        msg = self._fabric.match(self.rank, source, tag, timeout=self._recv_timeout)
+        self.clock.synchronize(msg.send_time)
+        self.tracer.record("recv", msg.nbytes, msg.source, t_start, self.clock.now)
+        return msg.payload
+
+    def Send(self, array: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Buffer send (numpy array, exact wire size)."""
+        self.send(np.ascontiguousarray(array), dest, tag)
+
+    def Recv(self, buffer: np.ndarray, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> None:
+        """Buffer receive into a preallocated array."""
+        payload = self.recv(source, tag)
+        incoming = np.asarray(payload)
+        if incoming.size != buffer.size:
+            raise MPIError(
+                f"Recv buffer size {buffer.size} != message size {incoming.size}"
+            )
+        buffer.reshape(-1)[:] = incoming.reshape(-1)
+
+    def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
+        """Combined send+recv (safe ordering handled by the fabric)."""
+        self.send(obj, dest, tag)
+        return self.recv(source, tag)
+
+    # -- nonblocking -----------------------------------------------------------------
+    def isend(self, obj: Any, dest: int, tag: int = 0):
+        """Nonblocking send: injects the message immediately (charging only
+        the injection latency); the transfer overlaps with later work and
+        ``request.wait()`` synchronises to its completion."""
+        from repro.simmpi.request import Request
+
+        if dest == self.rank:
+            raise MPIError("isend to self would deadlock; use a local variable")
+        nbytes = payload_nbytes(obj)
+        t_start = self.clock.now
+        same = self.same_node(dest)
+        transfer_done = t_start + self._network.p2p_time(nbytes, same)
+        # Injection overhead only; the wire time overlaps with compute.
+        self.clock.advance(
+            self._network.intra_latency if same else self._network.latency,
+            phase="comm",
+        )
+        self._fabric.post(
+            dest,
+            Message(
+                source=self.rank,
+                tag=tag,
+                payload=obj,
+                nbytes=nbytes,
+                send_time=transfer_done,
+            ),
+        )
+        self.tracer.record("isend", nbytes, dest, t_start, self.clock.now)
+        return Request(self, "isend", complete_time=transfer_done)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Nonblocking receive: returns a request; ``wait()`` blocks for
+        and returns the payload, ``test()`` polls."""
+        from repro.simmpi.request import Request
+
+        return Request(self, "irecv", source=source, tag=tag)
+
+    # -- collectives ---------------------------------------------------------------
+    def _collective(self, op: str, contribution: Any, cost: float, nbytes: int, peer: int = -1) -> list[Any]:
+        t_entry = self.clock.now
+        contributions, t_start = self._fabric.exchange(self.rank, contribution, t_entry)
+        self.clock.synchronize(t_start)
+        self.clock.advance(cost, phase="comm")
+        self.tracer.record(op, nbytes, peer, t_entry, self.clock.now)
+        return contributions
+
+    def barrier(self) -> None:
+        self._collective("barrier", None, self._network.barrier_time(self.size), 0)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns it."""
+        self._check_root(root)
+        # Sizes must agree across ranks for the cost; share root's size.
+        contribution = obj if self.rank == root else None
+        contributions = self._fabric.exchange(self.rank, contribution, self.clock.now)
+        payload = contributions[0][root]
+        t_start = contributions[1]
+        nbytes = payload_nbytes(payload)
+        self.clock.synchronize(t_start)
+        self.clock.advance(self._network.bcast_time(nbytes, self.size), phase="comm")
+        self.tracer.record("bcast", nbytes, root, t_start, self.clock.now)
+        return payload
+
+    def scatter(self, seq: Sequence[Any] | None, root: int = 0) -> Any:
+        self._check_root(root)
+        if self.rank == root:
+            seq = list(seq) if seq is not None else []
+            if len(seq) != self.size:
+                raise MPIError(
+                    f"scatter needs exactly {self.size} items, got {len(seq)}"
+                )
+        contributions, t_start = self._fabric.exchange(
+            self.rank, seq if self.rank == root else None, self.clock.now
+        )
+        items = contributions[root]
+        mine = items[self.rank]
+        per_rank = max(payload_nbytes(item) for item in items)
+        self.clock.synchronize(t_start)
+        self.clock.advance(self._network.scatter_time(per_rank, self.size), phase="comm")
+        self.tracer.record("scatter", per_rank, root, t_start, self.clock.now)
+        return mine
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        self._check_root(root)
+        nbytes = payload_nbytes(obj)
+        contributions = self._collective(
+            "gather", obj, self._network.gather_time(nbytes, self.size), nbytes, root
+        )
+        return list(contributions) if self.rank == root else None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        nbytes = payload_nbytes(obj)
+        contributions = self._collective(
+            "allgather", obj, self._network.allgather_time(nbytes, self.size), nbytes
+        )
+        return list(contributions)
+
+    def alltoall(self, seq: Sequence[Any]) -> list[Any]:
+        """Each rank provides one item per destination; receives one per source.
+
+        This is the data-exchange step of the communication-avoiding I/O
+        method (Fig. 5b of the paper).
+        """
+        seq = list(seq)
+        if len(seq) != self.size:
+            raise MPIError(f"alltoall needs exactly {self.size} items, got {len(seq)}")
+        max_pair = max(payload_nbytes(item) for item in seq)
+        contributions = self._collective(
+            "alltoallv",
+            seq,
+            self._network.alltoallv_time(max_pair, self.size),
+            max_pair * self.size,
+        )
+        return [contributions[src][self.rank] for src in range(self.size)]
+
+    def scatterv(self, seq: Sequence[Any] | None, counts: Sequence[int], root: int = 0) -> list[Any]:
+        """Scatter a flat sequence in uneven contiguous pieces.
+
+        ``counts[r]`` items go to rank ``r`` (mpi4py's ``Scatterv`` for
+        object lists).  Every rank must pass the same ``counts``.
+        """
+        self._check_root(root)
+        counts = list(counts)
+        if len(counts) != self.size or any(c < 0 for c in counts):
+            raise MPIError(f"scatterv needs {self.size} non-negative counts")
+        if self.rank == root:
+            seq = list(seq) if seq is not None else []
+            if len(seq) != sum(counts):
+                raise MPIError(
+                    f"scatterv data length {len(seq)} != sum(counts) {sum(counts)}"
+                )
+        contributions, t_start = self._fabric.exchange(
+            self.rank, seq if self.rank == root else None, self.clock.now
+        )
+        items = contributions[root]
+        offset = sum(counts[: self.rank])
+        mine = items[offset : offset + counts[self.rank]]
+        per_rank = max(
+            (payload_nbytes(item) for item in items), default=0
+        ) * max(counts)
+        self.clock.synchronize(t_start)
+        self.clock.advance(self._network.scatter_time(per_rank, self.size), phase="comm")
+        self.tracer.record("scatterv", per_rank, root, t_start, self.clock.now)
+        return list(mine)
+
+    def gatherv(self, items: Sequence[Any], root: int = 0) -> list[Any] | None:
+        """Gather variable-length sequences; root receives them
+        concatenated in rank order."""
+        self._check_root(root)
+        items = list(items)
+        nbytes = sum(payload_nbytes(item) for item in items)
+        contributions = self._collective(
+            "gatherv", items, self._network.gather_time(nbytes, self.size), nbytes, root
+        )
+        if self.rank != root:
+            return None
+        flat: list[Any] = []
+        for rank_items in contributions:
+            flat.extend(rank_items)
+        return flat
+
+    def split(self, color: int, key: int | None = None) -> "Communicator":
+        """Partition the communicator by ``color`` (MPI_Comm_split).
+
+        Ranks sharing a color get a fresh communicator ordered by
+        ``(key, old rank)``.  The hybrid engine uses this for per-node
+        sub-communicators.
+        """
+        if color < 0:
+            raise MPIError("color must be >= 0 (MPI_UNDEFINED unsupported)")
+        key = key if key is not None else self.rank
+        membership, t_start = self._fabric.exchange(
+            self.rank, (color, key, self.rank), self.clock.now
+        )
+        self.clock.synchronize(t_start)
+        self.clock.advance(self._network.barrier_time(self.size), phase="comm")
+        members = sorted(
+            (k, old) for (c, k, old) in membership if c == color
+        )
+        new_size = len(members)
+        new_rank = members.index((key, self.rank))
+        # One shared fabric per (split generation, color): rank 0 of the
+        # whole communicator allocates a registry and broadcasts it.
+        registry = self._fabric.exchange(
+            self.rank,
+            {color: Fabric(new_size)} if new_rank == 0 else None,
+            self.clock.now,
+        )[0]
+        fabric = None
+        for contribution in registry:
+            if contribution and color in contribution:
+                fabric = contribution[color]
+                break
+        assert fabric is not None
+        return Communicator(
+            new_rank,
+            new_size,
+            fabric,
+            clock=self.clock,
+            network=self._network,
+            cluster=self._cluster,
+            ranks_per_node=self._ranks_per_node,
+            tracer=self.tracer,
+            recv_timeout=self._recv_timeout,
+        )
+
+    def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
+        self._check_root(root)
+        nbytes = payload_nbytes(value)
+        contributions = self._collective(
+            "reduce", value, self._network.reduce_time(nbytes, self.size), nbytes, root
+        )
+        return op.reduce_all(contributions) if self.rank == root else None
+
+    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
+        nbytes = payload_nbytes(value)
+        contributions = self._collective(
+            "allreduce", value, self._network.allreduce_time(nbytes, self.size), nbytes
+        )
+        return op.reduce_all(contributions)
+
+    # -- misc -----------------------------------------------------------------------
+    def charge_io(self, seconds: float, op: str = "read", nbytes: int = 0) -> None:
+        """Charge simulated I/O time against this rank's clock (used by the
+        DASS readers, which compute costs from the storage model)."""
+        t_start = self.clock.now
+        self.clock.advance(seconds, phase="io")
+        self.tracer.record(op, nbytes, -1, t_start, self.clock.now)
+
+    def charge_compute(self, seconds: float, op: str = "compute") -> None:
+        t_start = self.clock.now
+        self.clock.advance(seconds, phase="compute")
+        self.tracer.record(op, 0, -1, t_start, self.clock.now)
+
+    def _check_root(self, root: int) -> None:
+        if not (0 <= root < self.size):
+            raise MPIError(f"root {root} out of range [0, {self.size})")
+
+    def __repr__(self) -> str:
+        return f"<Communicator rank={self.rank} size={self.size}>"

@@ -1,0 +1,93 @@
+"""Task-pool mapping over simulated ranks (mpi4py.futures analog).
+
+``pool_map(fn, items, size)`` evaluates ``fn`` over ``items`` with a
+master/worker schedule: rank 0 hands out item indices on demand, so
+uneven task costs balance automatically — the pattern DASSA's future
+"automatic system-setting selection" work would schedule with.
+
+For embarrassingly parallel sweeps with uniform costs,
+``static_map`` (round-robin, no master) has lower overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.cluster.machine import ClusterSpec
+from repro.errors import MPIError
+from repro.simmpi.executor import run_spmd
+
+_TAG_REQUEST = 101
+_TAG_ASSIGN = 102
+_TAG_RESULT = 103
+_STOP = -1
+
+
+def static_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    size: int,
+    cluster: ClusterSpec | None = None,
+) -> list[Any]:
+    """Round-robin map: rank r evaluates items r, r+size, ...; results
+    are allgathered and returned in item order."""
+    items = list(items)
+
+    def worker(comm):
+        mine = {
+            index: fn(items[index])
+            for index in range(comm.rank, len(items), comm.size)
+        }
+        gathered = comm.allgather(mine)
+        merged: dict[int, Any] = {}
+        for part in gathered:
+            merged.update(part)
+        return [merged[i] for i in range(len(items))]
+
+    result = run_spmd(worker, size, cluster=cluster)
+    return result.results[0]
+
+
+def pool_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    size: int,
+    cluster: ClusterSpec | None = None,
+) -> list[Any]:
+    """Dynamic master/worker map (rank 0 is the dispatcher).
+
+    Requires ``size >= 2`` (one master + workers).  Results are returned
+    in item order regardless of completion order.
+    """
+    if size < 2:
+        raise MPIError("pool_map needs size >= 2 (master + workers)")
+    items = list(items)
+
+    def worker(comm):
+        if comm.rank == 0:
+            results: dict[int, Any] = {}
+            next_item = 0
+            active = comm.size - 1
+            while active > 0:
+                worker_rank, payload = comm.recv(tag=_TAG_REQUEST)
+                if payload is not None:
+                    index, value = payload
+                    results[index] = value
+                if next_item < len(items):
+                    comm.send(next_item, dest=worker_rank, tag=_TAG_ASSIGN)
+                    next_item += 1
+                else:
+                    comm.send(_STOP, dest=worker_rank, tag=_TAG_ASSIGN)
+                    active -= 1
+            return [results[i] for i in range(len(items))]
+        # workers
+        payload = None
+        while True:
+            comm.send((comm.rank, payload), dest=0, tag=_TAG_REQUEST)
+            assignment = comm.recv(source=0, tag=_TAG_ASSIGN)
+            if assignment == _STOP:
+                return None
+            payload = (assignment, fn(items[assignment]))
+
+    result = run_spmd(worker, size, cluster=cluster)
+    return result.results[0]

@@ -1,0 +1,65 @@
+"""Reduction operators for reduce/allreduce.
+
+Each operator works elementwise on numpy arrays and directly on Python
+scalars, like MPI's predefined ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A named, associative, commutative binary reduction."""
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def reduce_all(self, contributions: list[Any]) -> Any:
+        """Fold the operator over per-rank contributions (rank order)."""
+        if not contributions:
+            raise ValueError("cannot reduce zero contributions")
+        acc = contributions[0]
+        for value in contributions[1:]:
+            acc = self.fn(acc, value)
+        return acc
+
+    def __repr__(self) -> str:
+        return f"ReduceOp({self.name})"
+
+
+def _add(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.add(a, b)
+    return a + b
+
+
+def _mul(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.multiply(a, b)
+    return a * b
+
+
+def _max(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return max(a, b)
+
+
+def _min(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return min(a, b)
+
+
+SUM = ReduceOp("SUM", _add)
+PROD = ReduceOp("PROD", _mul)
+MAX = ReduceOp("MAX", _max)
+MIN = ReduceOp("MIN", _min)

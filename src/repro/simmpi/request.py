@@ -1,0 +1,91 @@
+"""Nonblocking communication requests (mpi4py-style ``isend``/``irecv``).
+
+In the simulated runtime an eager ``isend`` completes locally at once
+(the payload is buffered in the destination's mailbox); ``irecv``
+returns a request whose ``wait`` performs the matching receive.  The
+virtual-clock semantics follow MPI's progress model: the send's
+transfer time is charged when the request is waited on, overlapping
+with whatever compute the rank did in between (``wait`` only advances
+the clock to the completion time if it is in the future).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import MPIError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simmpi.communicator import Communicator
+
+
+class Request:
+    """Handle for an in-flight nonblocking operation."""
+
+    __slots__ = ("_comm", "_kind", "_done", "_value", "_complete_time", "_source", "_tag")
+
+    def __init__(
+        self,
+        comm: "Communicator",
+        kind: str,
+        complete_time: float = 0.0,
+        source: int = -1,
+        tag: int = -1,
+    ):
+        self._comm = comm
+        self._kind = kind
+        self._done = False
+        self._value: Any = None
+        self._complete_time = complete_time
+        self._source = source
+        self._tag = tag
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+    def wait(self) -> Any:
+        """Block until the operation finishes; returns the received
+        payload for ``irecv`` requests, ``None`` for ``isend``."""
+        if self._done:
+            return self._value
+        if self._kind == "isend":
+            # The transfer was scheduled at post time; completion means the
+            # clock has passed the transfer's end.
+            self._comm.clock.synchronize(self._complete_time)
+        elif self._kind == "irecv":
+            self._value = self._comm.recv(self._source, self._tag)
+        else:  # pragma: no cover - defensive
+            raise MPIError(f"unknown request kind {self._kind!r}")
+        self._done = True
+        return self._value
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check (mpi4py's ``Request.test``).
+
+        For ``irecv``, polls the mailbox without blocking.
+        """
+        if self._done:
+            return True, self._value
+        if self._kind == "isend":
+            if self._comm.clock.now >= self._complete_time:
+                self._done = True
+                return True, None
+            return False, None
+        # irecv: poll the mailbox for a matching message.
+        msg = self._comm._fabric.match_nowait(
+            self._comm.rank, self._source, self._tag
+        )
+        if msg is None:
+            return False, None
+        self._comm.clock.synchronize(msg.send_time)
+        self._comm.tracer.record(
+            "recv", msg.nbytes, msg.source, self._comm.clock.now, self._comm.clock.now
+        )
+        self._value = msg.payload
+        self._done = True
+        return True, self._value
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else "pending"
+        return f"<Request {self._kind} {state}>"

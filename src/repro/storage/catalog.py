@@ -1,0 +1,160 @@
+"""Persistent acquisition catalog.
+
+Searching 2880 files in 0.002 s (paper Fig. 6) is only possible against
+an index, not a directory walk.  ``Catalog`` maintains that index: a
+JSON sidecar (``.das_catalog.json``) mapping timestamps to file entries,
+refreshed incrementally (only files newer than the last scan are
+stat'ed).  ``das_search`` accepts a catalog anywhere it accepts a
+directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.storage.search import DASFileInfo, scan_directory
+
+CATALOG_NAME = ".das_catalog.json"
+CATALOG_VERSION = 1
+
+
+@dataclass
+class Catalog:
+    """An indexed directory of DAS files."""
+
+    directory: str
+    entries: list[DASFileInfo] = field(default_factory=list)
+    last_mtime: float = 0.0
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.directory, CATALOG_NAME)
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def build(cls, directory: str | os.PathLike, read_shapes: bool = False) -> "Catalog":
+        """Scan a directory from scratch and build the index."""
+        directory = os.fspath(directory)
+        entries = scan_directory(directory, read_shapes=read_shapes)
+        catalog = cls(directory=directory, entries=entries)
+        catalog.last_mtime = catalog._dir_mtime()
+        return catalog
+
+    @classmethod
+    def load(cls, directory: str | os.PathLike) -> "Catalog":
+        """Load the sidecar index; raises if absent or corrupt."""
+        directory = os.fspath(directory)
+        path = os.path.join(directory, CATALOG_NAME)
+        try:
+            with open(path) as fh:
+                raw = json.load(fh)
+        except FileNotFoundError:
+            raise StorageError(f"no catalog at {path!r}; build one first") from None
+        except json.JSONDecodeError as exc:
+            raise StorageError(f"corrupt catalog {path!r}: {exc}") from exc
+        if raw.get("version") != CATALOG_VERSION:
+            raise StorageError(
+                f"catalog version {raw.get('version')} unsupported"
+            )
+        entries = [
+            DASFileInfo(
+                path=os.path.join(directory, entry["name"]),
+                timestamp=entry["timestamp"],
+                n_channels=entry.get("n_channels", 0),
+                n_samples=entry.get("n_samples", 0),
+            )
+            for entry in raw["entries"]
+        ]
+        return cls(
+            directory=directory, entries=entries, last_mtime=raw.get("last_mtime", 0.0)
+        )
+
+    @classmethod
+    def open(cls, directory: str | os.PathLike) -> "Catalog":
+        """Load the index if present (refreshing if stale), else build it."""
+        directory = os.fspath(directory)
+        try:
+            catalog = cls.load(directory)
+        except StorageError:
+            catalog = cls.build(directory)
+            catalog.save()
+            return catalog
+        if catalog.stale():
+            catalog.refresh()
+            catalog.save()
+        return catalog
+
+    # -- persistence --------------------------------------------------------------
+    def save(self) -> str:
+        payload = {
+            "version": CATALOG_VERSION,
+            "last_mtime": self.last_mtime,
+            "entries": [
+                {
+                    "name": os.path.basename(entry.path),
+                    "timestamp": entry.timestamp,
+                    "n_channels": entry.n_channels,
+                    "n_samples": entry.n_samples,
+                }
+                for entry in self.entries
+            ],
+        }
+        with open(self.path, "w") as fh:
+            json.dump(payload, fh)
+        return self.path
+
+    # -- freshness ------------------------------------------------------------------
+    def _dir_mtime(self) -> float:
+        try:
+            return os.stat(self.directory).st_mtime
+        except OSError:
+            return 0.0
+
+    def stale(self) -> bool:
+        """True if the directory changed since the index was written."""
+        return self._dir_mtime() > self.last_mtime
+
+    def refresh(self) -> int:
+        """Re-scan the directory, keeping known entries; returns the number
+        of added-or-removed files."""
+        fresh = scan_directory(self.directory)
+        known = {entry.path: entry for entry in self.entries}
+        merged = []
+        changes = 0
+        fresh_paths = set()
+        for entry in fresh:
+            fresh_paths.add(entry.path)
+            old = known.get(entry.path)
+            if old is not None:
+                merged.append(old)  # keep any shape info already gathered
+            else:
+                merged.append(entry)
+                changes += 1
+        changes += sum(1 for path in known if path not in fresh_paths)
+        merged.sort(key=lambda e: e.timestamp)
+        self.entries = merged
+        self.last_mtime = self._dir_mtime()
+        return changes
+
+    # -- queries ----------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def range_query(self, start: str, count: int | None = None) -> list[DASFileInfo]:
+        """Type-1 query over the index (binary search on timestamps)."""
+        import bisect
+
+        stamps = [entry.timestamp for entry in self.entries]
+        lo = bisect.bisect_left(stamps, start)
+        selected = self.entries[lo:]
+        if count is not None:
+            if count < 0:
+                raise StorageError("count must be >= 0")
+            selected = selected[:count]
+        return selected

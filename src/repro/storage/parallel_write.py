@@ -1,0 +1,77 @@
+"""Parallel output writing.
+
+Both engines "write the output as a single and big array" (paper §VI-C)
+— Fig. 8's write bars are identical because the output path is shared.
+Rank blocks are gathered in rank order and written as one contiguous
+dataset; virtual write time is charged per-rank from the storage model
+(each rank's block is one striped write request).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.cluster.storage import IORequest, StorageModel
+from repro.errors import StorageError
+from repro.hdf5lite import File
+from repro.simmpi.communicator import Communicator
+
+OUTPUT_DATASET = "Output"
+
+
+def write_output_parallel(
+    comm: Communicator,
+    path: str | os.PathLike,
+    block: np.ndarray,
+    storage: StorageModel | None = None,
+    dataset: str = OUTPUT_DATASET,
+    attrs: dict | None = None,
+) -> tuple[int, int]:
+    """Write per-rank row blocks as one big array; returns this rank's
+    ``(row_lo, row_hi)`` in the output.
+
+    The hdf5lite backend is not multi-writer safe, so blocks are gathered
+    to rank 0 which performs the physical write — but the *charged* time
+    models the real collective write: every rank issues one large striped
+    write concurrently.
+    """
+    block = np.ascontiguousarray(block)
+    if block.ndim != 2:
+        raise StorageError("output blocks must be 2-D (rows, cols)")
+    shapes = comm.allgather(block.shape)
+    cols = shapes[0][1]
+    if any(shape[1] != cols for shape in shapes):
+        raise StorageError(f"inconsistent output column counts: {shapes}")
+    row_lo = sum(shape[0] for shape in shapes[: comm.rank])
+    row_hi = row_lo + block.shape[0]
+
+    gathered = comm.gather(block, root=0)
+    if comm.rank == 0:
+        full = np.concatenate(gathered, axis=0)
+        with File(os.fspath(path), "w") as f:
+            if attrs:
+                f.attrs.update_many(attrs)
+            f.create_dataset(dataset, data=full)
+
+    if storage is not None:
+        stripes = storage.default_stripe_count
+        requests = [
+            IORequest(
+                rank=comm.rank,
+                file_id=comm.rank % stripes,
+                nbytes=block.nbytes,
+                start=comm.clock.now,
+                is_open=(comm.rank == 0),
+                is_write=True,
+            )
+        ]
+        all_requests = comm.allgather(requests)
+        finish = storage.schedule([r for rs in all_requests for r in rs])
+        t_start = comm.clock.now
+        if comm.rank in finish:
+            comm.clock.synchronize(finish[comm.rank])
+        comm.tracer.record("write", block.nbytes, -1, t_start, comm.clock.now)
+    comm.barrier()
+    return row_lo, row_hi

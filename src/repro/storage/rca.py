@@ -1,0 +1,78 @@
+"""Really Concatenated Array (RCA) — paper §IV-A and Table I.
+
+An RCA physically copies every source file's data into one large
+contiguous dataset.  It doubles storage during construction and costs a
+full read+write of the data — the slow path Fig. 6 quantifies — but the
+result supports trivially parallel reads (each rank's channel block is
+one contiguous run).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.hdf5lite import File, Hyperslab
+from repro.storage.dasfile import DATASET_NAME, read_das_metadata
+from repro.storage.metadata import DASMetadata
+from repro.storage.search import DASFileInfo
+from repro.utils.iostats import IOStats
+
+RCA_DATASET = "RCA"
+
+
+def create_rca(
+    out_path: str | os.PathLike,
+    files: Sequence[DASFileInfo | str],
+    dtype: object = np.float32,
+    iostats: IOStats | None = None,
+) -> str:
+    """Build an RCA by physically concatenating files along time.
+
+    Streams one source file at a time (the construction never holds more
+    than one minute of data), writing each block into its time slot of
+    the preallocated output dataset.
+    """
+    if not files:
+        raise StorageError("cannot build an RCA from zero files")
+    out_path = os.fspath(out_path)
+    paths = [f.path if isinstance(f, DASFileInfo) else os.fspath(f) for f in files]
+
+    metas: list[DASMetadata] = []
+    shapes: list[tuple[int, ...]] = []
+    for path in paths:
+        metadata, shape = read_das_metadata(path, iostats=iostats)
+        metas.append(metadata)
+        shapes.append(shape)
+    n_channels = shapes[0][0]
+    if any(shape[0] != n_channels for shape in shapes):
+        raise StorageError("all sources must share the channel count")
+    total_samples = sum(shape[1] for shape in shapes)
+
+    merged = DASMetadata(
+        sampling_frequency=metas[0].sampling_frequency,
+        spatial_resolution=metas[0].spatial_resolution,
+        timestamp=metas[0].timestamp,
+        n_channels=n_channels,
+        extras=dict(metas[0].extras),
+    )
+    with File(out_path, "w", iostats=iostats) as out:
+        out.attrs.update_many(merged.to_attrs())
+        out.attrs["RCA source count"] = len(paths)
+        out.attrs["RCA source timestamps"] = [m.timestamp for m in metas]
+        ds = out.create_dataset(
+            RCA_DATASET, shape=(n_channels, total_samples), dtype=dtype
+        )
+        offset = 0
+        for path, shape in zip(paths, shapes):
+            with File(path, "r", iostats=iostats) as src:
+                block = src.dataset(DATASET_NAME).read()
+            ds.write_hyperslab(
+                Hyperslab((0, offset), (n_channels, shape[1]), (1, 1)),
+                block.astype(np.dtype(dtype), copy=False),
+            )
+            offset += shape[1]
+    return out_path

@@ -1,0 +1,40 @@
+"""Synthetic DAS data (substitute for the paper's West Sacramento array).
+
+The paper's recording is 11 648 channels at 500 Hz along a 25 km dark
+fiber, stored as one file per minute (~700 MB each; 1440 files/day).  We
+cannot ship that data, so this package synthesises recordings with the
+same structure and the same *detectable content*:
+
+* band-limited ambient noise on every channel,
+* moving-vehicle signals — localised wave packets travelling along the
+  fiber at road speed (the diagonal streaks of Fig. 1b),
+* an earthquake — a coherent wavefront sweeping the whole array with a
+  hyperbolic moveout (the M4.4 Berkeley event of Fig. 1b/10),
+* a persistently vibrating channel region (machinery near the cable).
+
+Benchmarks use scaled-down channel/sample counts with the same file
+structure; the signal models keep local similarity and interferometry
+meaningful (events are recoverable, noise correlations carry lag
+structure).
+"""
+
+from repro.synthetic.events import earthquake_signal, ricker, vehicle_signal
+from repro.synthetic.generator import (
+    SceneSpec,
+    fig1b_scene,
+    generate_dataset,
+    synthesize_scene,
+)
+from repro.synthetic.noise import ambient_noise, persistent_vibration
+
+__all__ = [
+    "ricker",
+    "earthquake_signal",
+    "vehicle_signal",
+    "ambient_noise",
+    "persistent_vibration",
+    "SceneSpec",
+    "fig1b_scene",
+    "synthesize_scene",
+    "generate_dataset",
+]

@@ -1,0 +1,60 @@
+"""Terminal rendering of 2-D arrays (the ASCII Fig. 1b / Fig. 10 view)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+_SHADES = " .:-=+*#%@"
+
+
+def to_ascii(
+    array: np.ndarray,
+    rows: int = 24,
+    cols: int = 72,
+    clip_percentile: float | None = None,
+) -> str:
+    """Render a 2-D array as an ASCII intensity map.
+
+    The array is downsampled to ``rows x cols`` by nearest sampling and
+    scaled to the shade ramp; ``clip_percentile`` (e.g. 99) limits the
+    dynamic range so outliers don't flatten everything else.
+    """
+    array = np.asarray(array, dtype=np.float64)
+    if array.ndim != 2 or array.size == 0:
+        raise ConfigError("to_ascii needs a non-empty 2-D array")
+    if rows < 1 or cols < 1:
+        raise ConfigError("rows and cols must be >= 1")
+    r_idx = np.linspace(0, array.shape[0] - 1, min(rows, array.shape[0])).astype(int)
+    c_idx = np.linspace(0, array.shape[1] - 1, min(cols, array.shape[1])).astype(int)
+    small = array[np.ix_(r_idx, c_idx)]
+    if clip_percentile is not None:
+        if not (50.0 < clip_percentile <= 100.0):
+            raise ConfigError("clip_percentile must be in (50, 100]")
+        hi = np.percentile(small, clip_percentile)
+        lo = np.percentile(small, 100.0 - clip_percentile)
+        small = np.clip(small, lo, hi)
+    lo, hi = small.min(), small.max()
+    scaled = (small - lo) / (hi - lo + 1e-300)
+    lines = []
+    for row in scaled:
+        lines.append(
+            "".join(_SHADES[int(v * (len(_SHADES) - 1))] for v in row)
+        )
+    return "\n".join(lines)
+
+
+def wiggle_summary(array: np.ndarray, n_channels: int = 8, width: int = 60) -> str:
+    """Per-channel RMS bars — a one-glance health view of a record."""
+    array = np.asarray(array, dtype=np.float64)
+    if array.ndim != 2 or array.size == 0:
+        raise ConfigError("wiggle_summary needs a non-empty 2-D array")
+    idx = np.linspace(0, array.shape[0] - 1, min(n_channels, array.shape[0])).astype(int)
+    rms = np.sqrt(np.mean(array[idx] ** 2, axis=1))
+    top = rms.max() or 1.0
+    lines = []
+    for channel, value in zip(idx, rms):
+        bar = "#" * int(round(value / top * width))
+        lines.append(f"ch {channel:5d} |{bar:<{width}}| rms={value:.3g}")
+    return "\n".join(lines)

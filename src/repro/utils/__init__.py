@@ -1,0 +1,29 @@
+"""Shared utilities: unit parsing/formatting, timers, I/O statistics."""
+
+from repro.utils.iostats import IOStats
+from repro.utils.timer import Timer, VirtualTimer, timed
+from repro.utils.units import (
+    GIB,
+    KIB,
+    MIB,
+    TIB,
+    format_bytes,
+    format_count,
+    format_seconds,
+    parse_bytes,
+)
+
+__all__ = [
+    "IOStats",
+    "Timer",
+    "VirtualTimer",
+    "timed",
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "format_bytes",
+    "format_count",
+    "format_seconds",
+    "parse_bytes",
+]

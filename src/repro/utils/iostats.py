@@ -1,0 +1,94 @@
+"""I/O operation counters.
+
+The paper's storage arguments are about *operation counts*: number of file
+opens (each has a constant overhead on a disk file system), number of read
+requests (IOPS pressure), and bytes moved.  ``IOStats`` is threaded through
+the hdf5lite backend and the DASS readers so every experiment can report —
+and every test can assert on — exact counts.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Thread-safe accumulator of I/O operation counts."""
+
+    opens: int = 0
+    closes: int = 0
+    seeks: int = 0
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+
+    def record_open(self) -> None:
+        with self._lock:
+            self.opens += 1
+
+    def record_close(self) -> None:
+        with self._lock:
+            self.closes += 1
+
+    def record_seek(self) -> None:
+        with self._lock:
+            self.seeks += 1
+
+    def record_read(self, nbytes: int) -> None:
+        with self._lock:
+            self.reads += 1
+            self.bytes_read += nbytes
+
+    def record_write(self, nbytes: int) -> None:
+        with self._lock:
+            self.writes += 1
+            self.bytes_written += nbytes
+
+    @property
+    def requests(self) -> int:
+        """Total I/O requests (reads + writes) — the IOPS-relevant count."""
+        return self.reads + self.writes
+
+    def merge(self, other: "IOStats") -> None:
+        with self._lock:
+            self.opens += other.opens
+            self.closes += other.closes
+            self.seeks += other.seeks
+            self.reads += other.reads
+            self.writes += other.writes
+            self.bytes_read += other.bytes_read
+            self.bytes_written += other.bytes_written
+
+    def reset(self) -> None:
+        with self._lock:
+            self.opens = 0
+            self.closes = 0
+            self.seeks = 0
+            self.reads = 0
+            self.writes = 0
+            self.bytes_read = 0
+            self.bytes_written = 0
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "opens": self.opens,
+                "closes": self.closes,
+                "seeks": self.seeks,
+                "reads": self.reads,
+                "writes": self.writes,
+                "bytes_read": self.bytes_read,
+                "bytes_written": self.bytes_written,
+            }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        snap = self.snapshot()
+        return (
+            f"IOStats(opens={snap['opens']}, reads={snap['reads']}, "
+            f"writes={snap['writes']}, bytes_read={snap['bytes_read']}, "
+            f"bytes_written={snap['bytes_written']})"
+        )

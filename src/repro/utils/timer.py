@@ -1,0 +1,100 @@
+"""Wall-clock and virtual timers.
+
+The benchmark harness reports two kinds of time:
+
+* **wall time** — real elapsed seconds on this machine (``Timer``), and
+* **virtual time** — simulated seconds charged by the machine model
+  (``VirtualTimer``), which is what reproduces the paper's large-scale
+  numbers on a single core.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer with named phases.
+
+    >>> t = Timer()
+    >>> with t.phase("read"):
+    ...     pass
+    >>> "read" in t.phases
+    True
+    """
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def merge(self, other: "Timer") -> None:
+        for name, elapsed in other.phases.items():
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+
+
+class VirtualTimer:
+    """A monotonically advancing simulated clock.
+
+    Used per simulated MPI rank.  ``advance`` charges elapsed virtual time;
+    ``synchronize`` implements the happens-before rule for message passing
+    (a receive completes no earlier than the matching send completed).
+    """
+
+    __slots__ = ("_now", "phases")
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self.phases: dict[str, float] = {}
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float, phase: str = "other") -> float:
+        """Advance the clock by ``seconds`` (>= 0) and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time: {seconds}")
+        self._now += seconds
+        self.phases[phase] = self.phases.get(phase, 0.0) + seconds
+        return self._now
+
+    def synchronize(self, other_time: float) -> float:
+        """Move the clock forward to ``other_time`` if it is in the future.
+
+        Waiting time is *not* charged to any phase; it models idle time.
+        """
+        if other_time > self._now:
+            self._now = other_time
+        return self._now
+
+
+@contextmanager
+def timed() -> Iterator[list[float]]:
+    """Context manager yielding a one-element list filled with elapsed seconds.
+
+    >>> with timed() as elapsed:
+    ...     pass
+    >>> elapsed[0] >= 0.0
+    True
+    """
+    result = [0.0]
+    start = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result[0] = time.perf_counter() - start

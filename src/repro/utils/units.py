@@ -1,0 +1,88 @@
+"""Byte/size/time unit helpers used across the storage and cluster models."""
+
+from __future__ import annotations
+
+import re
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+TIB = 1024**4
+
+_SUFFIXES = {
+    "b": 1,
+    "k": KIB,
+    "kb": KIB,
+    "kib": KIB,
+    "m": MIB,
+    "mb": MIB,
+    "mib": MIB,
+    "g": GIB,
+    "gb": GIB,
+    "gib": GIB,
+    "t": TIB,
+    "tb": TIB,
+    "tib": TIB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_bytes(value: int | float | str) -> int:
+    """Parse a byte count from an int, float, or string like ``"1.9TB"``.
+
+    >>> parse_bytes("1.9TB") == int(1.9 * TIB)
+    True
+    >>> parse_bytes(4096)
+    4096
+    """
+    if isinstance(value, (int, float)):
+        if value < 0:
+            raise ValueError(f"negative byte count: {value}")
+        return int(value)
+    match = _SIZE_RE.match(value)
+    if not match:
+        raise ValueError(f"cannot parse byte count: {value!r}")
+    number, suffix = match.groups()
+    suffix = suffix.lower() or "b"
+    if suffix not in _SUFFIXES:
+        raise ValueError(f"unknown size suffix {suffix!r} in {value!r}")
+    return int(float(number) * _SUFFIXES[suffix])
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable byte count: ``format_bytes(1.5 * GIB) == '1.50 GiB'``."""
+    if nbytes < 0:
+        return "-" + format_bytes(-nbytes)
+    for unit, name in ((TIB, "TiB"), (GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")):
+        if nbytes >= unit:
+            return f"{nbytes / unit:.2f} {name}"
+    return f"{int(nbytes)} B"
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration: microseconds up to hours."""
+    if seconds < 0:
+        return "-" + format_seconds(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.3f} s"
+    if seconds < 7200.0:
+        return f"{seconds / 60.0:.2f} min"
+    return f"{seconds / 3600.0:.2f} h"
+
+
+def format_count(count: float) -> str:
+    """Compact count formatting: ``format_count(11648) == '11.6K'``."""
+    if count < 0:
+        return "-" + format_count(-count)
+    if count >= 1e9:
+        return f"{count / 1e9:.1f}G"
+    if count >= 1e6:
+        return f"{count / 1e6:.1f}M"
+    if count >= 1e3:
+        return f"{count / 1e3:.1f}K"
+    return str(int(count))

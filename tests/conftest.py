@@ -1,0 +1,45 @@
+"""Shared fixtures: small synthetic DAS datasets on disk."""
+
+import numpy as np
+import pytest
+
+from repro.storage.dasfile import das_filename, write_das_file
+from repro.storage.metadata import DASMetadata, timestamp_add_seconds
+
+
+@pytest.fixture
+def das_dir(tmp_path):
+    """Six tiny per-minute DAS files (16 channels x 120 samples, 2 Hz)."""
+    directory = tmp_path / "das"
+    directory.mkdir()
+    rng = np.random.default_rng(42)
+    stamp = "170620100545"
+    paths = []
+    blocks = []
+    for _ in range(6):
+        data = rng.normal(size=(16, 120)).astype(np.float32)
+        metadata = DASMetadata(
+            sampling_frequency=2.0,
+            spatial_resolution=2.0,
+            timestamp=stamp,
+            n_channels=16,
+        )
+        path = str(directory / das_filename(stamp))
+        write_das_file(path, data, metadata, channel_groups=False)
+        paths.append(path)
+        blocks.append(data)
+        stamp = timestamp_add_seconds(stamp, 60)
+    return {
+        "dir": str(directory),
+        "paths": paths,
+        "blocks": blocks,
+        "full": np.concatenate(blocks, axis=1),
+        "stamps": [
+            "170620100545",
+            "170620100645",
+            "170620100745",
+            "170620100845",
+            "170620100945",
+            "170620101045",
+        ],
+    }

@@ -1,0 +1,75 @@
+"""Tests for compute-model calibration."""
+
+import numpy as np
+import pytest
+
+from repro.arrayudf.calibrate import (
+    calibrate,
+    machine_speed_probe,
+    measure_seconds_per_sample,
+)
+from repro.arrayudf.engine import ComputeModel
+from repro.errors import ConfigError
+
+
+def cheap_kernel(block):
+    return block.sum()
+
+
+class TestMeasure:
+    def test_positive_and_finite(self):
+        block = np.zeros((16, 1024))
+        sps = measure_seconds_per_sample(cheap_kernel, block)
+        assert 0 < sps < 1e-3
+
+    def test_heavier_kernel_costs_more(self):
+        block = np.random.default_rng(0).normal(size=(8, 4096))
+
+        def heavy(b):
+            for _ in range(20):
+                np.fft.rfft(b, axis=-1)
+            return None
+
+        cheap = measure_seconds_per_sample(cheap_kernel, block)
+        heavier = measure_seconds_per_sample(heavy, block)
+        assert heavier > cheap
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            measure_seconds_per_sample(cheap_kernel, np.zeros(0))
+        with pytest.raises(ConfigError):
+            measure_seconds_per_sample(cheap_kernel, np.zeros(10), repeats=0)
+
+
+class TestProbeAndCalibrate:
+    def test_probe_positive(self):
+        speed = machine_speed_probe(n=2**14)
+        assert speed > 1e5  # any machine manages 100k samples/s of FFT
+
+    def test_calibrate_returns_model(self):
+        model = calibrate(cheap_kernel, np.zeros((8, 512)))
+        assert isinstance(model, ComputeModel)
+        assert model.seconds_per_sample > 0
+
+    def test_target_speed_rescales(self):
+        block = np.zeros((8, 2048))
+        local = calibrate(cheap_kernel, block)
+        # Modelling a machine 10x slower than the probe says we are:
+        slow_target = machine_speed_probe(n=2**14) / 10.0
+        slow = calibrate(cheap_kernel, block, target_speed=slow_target)
+        assert slow.seconds_per_sample > 2 * local.seconds_per_sample
+
+    def test_model_usable_in_estimates(self):
+        from repro.arrayudf.engine import HybridEngine, WorkloadSpec
+        from repro.cluster import cori_haswell
+
+        model = calibrate(cheap_kernel, np.zeros((8, 512)))
+        engine = HybridEngine(cori_haswell(91), 91, threads_per_rank=8, compute=model)
+        workload = WorkloadSpec(total_bytes=10 * 2**30, n_files=10)
+        report = engine.estimate(workload)
+        assert report.failed is None
+        assert report.compute_time > 0
+
+    def test_invalid_target(self):
+        with pytest.raises(ConfigError):
+            calibrate(cheap_kernel, np.zeros(16), target_speed=0.0)

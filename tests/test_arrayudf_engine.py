@@ -1,0 +1,211 @@
+"""Tests for the MPI vs Hybrid engines: geometry, memory planning (Fig. 8
+OOM), estimate-mode scaling, and real execution."""
+
+import numpy as np
+import pytest
+
+from repro.arrayudf.engine import (
+    ComputeModel,
+    EngineReport,
+    HybridEngine,
+    MPIEngine,
+    WorkloadSpec,
+)
+from repro.cluster import cori_haswell, laptop
+from repro.errors import ConfigError
+
+
+def paper_workload() -> WorkloadSpec:
+    """The Fig. 8 workload: 1.9 TB over 2880 files, FFT cross-correlation
+    against one master channel (2 days x 500 Hz, float64 spectra)."""
+    return WorkloadSpec(
+        total_bytes=int(1.9 * 2**40),
+        n_files=2880,
+        master_bytes=30000 * 1440 * 2 * 8,
+        working_multiplier=6.0,
+        output_ratio=0.1,
+    )
+
+
+class TestComputeModel:
+    def test_serial_time(self):
+        model = ComputeModel(seconds_per_sample=1e-6)
+        assert model.time(1e6) == pytest.approx(1.0)
+
+    def test_threads_speed_up(self):
+        model = ComputeModel(seconds_per_sample=1e-6)
+        assert model.time(1e6, threads=16) < model.time(1e6) / 8
+
+    def test_coordination_overhead(self):
+        """Threads are slightly worse than perfect scaling — the effect
+        that gives pure MPI its mid-scale compute edge in Fig. 8."""
+        model = ComputeModel(seconds_per_sample=1e-6, thread_coordination=0.05)
+        ideal = model.time(1e6) / 16
+        assert model.time(1e6, threads=16) > ideal
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            ComputeModel().time(-1)
+        with pytest.raises(ConfigError):
+            ComputeModel().time(10, threads=0)
+
+
+class TestGeometry:
+    def test_mpi_engine_defaults(self):
+        engine = MPIEngine(cori_haswell(91), 91, ranks_per_node=16)
+        assert engine.ranks == 91 * 16
+        assert engine.threads_per_rank == 1
+
+    def test_hybrid_engine_defaults(self):
+        engine = HybridEngine(cori_haswell(91), 91, threads_per_rank=16)
+        assert engine.ranks == 91
+        assert engine.threads_per_rank == 16
+
+    def test_core_budget_enforced(self):
+        with pytest.raises(ConfigError):
+            MPIEngine(cori_haswell(4), 4, ranks_per_node=64)
+        with pytest.raises(ConfigError):
+            HybridEngine(cori_haswell(4), 4, threads_per_rank=64)
+
+    def test_too_many_nodes(self):
+        with pytest.raises(ConfigError):
+            MPIEngine(cori_haswell(4), 8)
+
+    def test_cores_used(self):
+        report = EngineReport("x", nodes=91, ranks_per_node=1, threads_per_rank=16)
+        assert report.cores_used == 1456
+
+
+class TestFig8Memory:
+    def test_pure_mpi_oom_at_91_nodes(self):
+        """The paper's Fig. 8 headline: pure MPI runs out of memory at 91
+        nodes (16 ranks/node duplicate the master channel and inflate the
+        working set); HAEE completes."""
+        workload = paper_workload()
+        mpi = MPIEngine(cori_haswell(91), 91, ranks_per_node=16)
+        hybrid = HybridEngine(cori_haswell(91), 91, threads_per_rank=16)
+        assert mpi.estimate(workload).failed is not None
+        assert "memory" in mpi.estimate(workload).failed
+        assert hybrid.estimate(workload).failed is None
+
+    def test_pure_mpi_recovers_at_larger_scale(self):
+        """With more nodes the per-node block shrinks and pure MPI fits —
+        matching Fig. 8 where MPI ArrayUDF runs at 182-728 nodes."""
+        workload = paper_workload()
+        mpi = MPIEngine(cori_haswell(182), 182, ranks_per_node=16)
+        assert mpi.estimate(workload).failed is None
+
+    def test_hybrid_peak_below_mpi_peak(self):
+        workload = paper_workload()
+        nodes = 182
+        mpi = MPIEngine(cori_haswell(nodes), nodes, ranks_per_node=16).estimate(workload)
+        hybrid = HybridEngine(cori_haswell(nodes), nodes, threads_per_rank=16).estimate(
+            workload
+        )
+        assert hybrid.peak_node_bytes < mpi.peak_node_bytes
+
+
+class TestFig8Timing:
+    def test_hybrid_issues_16x_fewer_requests(self):
+        workload = paper_workload()
+        nodes = 364
+        mpi = MPIEngine(cori_haswell(nodes), nodes, ranks_per_node=16).estimate(workload)
+        hybrid = HybridEngine(cori_haswell(nodes), nodes, threads_per_rank=16).estimate(
+            workload
+        )
+        assert mpi.n_read_requests == 16 * hybrid.n_read_requests
+
+    def test_mpi_read_blows_up_at_728_nodes(self):
+        """Fig. 8: at 728 nodes the 11648 MPI ranks' simultaneous I/O
+        calls contend; HAEE's read stays moderate."""
+        workload = paper_workload()
+        nodes = 728
+        mpi = MPIEngine(cori_haswell(nodes), nodes, ranks_per_node=16).estimate(workload)
+        hybrid = HybridEngine(cori_haswell(nodes), nodes, threads_per_rank=16).estimate(
+            workload
+        )
+        assert mpi.read_time > 5 * hybrid.read_time
+
+    def test_mpi_compute_slightly_faster_midscale(self):
+        """Fig. 8: 'the original ArrayUDF shows certain performance
+        benefits because of the coordination overhead of multiple threads
+        in HAEE'."""
+        workload = paper_workload()
+        nodes = 364
+        mpi = MPIEngine(cori_haswell(nodes), nodes, ranks_per_node=16).estimate(workload)
+        hybrid = HybridEngine(cori_haswell(nodes), nodes, threads_per_rank=16).estimate(
+            workload
+        )
+        assert mpi.compute_time < hybrid.compute_time
+        assert hybrid.compute_time < 1.2 * mpi.compute_time
+
+    def test_write_time_identical(self):
+        """Fig. 8: 'HAEE and original ArrayUDF have the same performance
+        in writing'."""
+        workload = paper_workload()
+        nodes = 364
+        mpi = MPIEngine(cori_haswell(nodes), nodes, ranks_per_node=16).estimate(workload)
+        hybrid = HybridEngine(cori_haswell(nodes), nodes, threads_per_rank=16).estimate(
+            workload
+        )
+        assert mpi.write_time == pytest.approx(hybrid.write_time, rel=0.05)
+
+    def test_hybrid_total_wins_at_extremes(self):
+        workload = paper_workload()
+        hybrid_91 = HybridEngine(cori_haswell(91), 91, threads_per_rank=16).estimate(
+            workload
+        )
+        assert hybrid_91.failed is None and hybrid_91.total_time > 0
+        mpi_728 = MPIEngine(cori_haswell(728), 728, ranks_per_node=16).estimate(workload)
+        hybrid_728 = HybridEngine(cori_haswell(728), 728, threads_per_rank=16).estimate(
+            workload
+        )
+        assert hybrid_728.total_time < mpi_728.total_time
+
+    def test_summary_strings(self):
+        workload = paper_workload()
+        ok = HybridEngine(cori_haswell(364), 364, threads_per_rank=16).estimate(workload)
+        assert "read=" in ok.summary()
+        bad = MPIEngine(cori_haswell(91), 91, ranks_per_node=16).estimate(workload)
+        assert "FAILED" in bad.summary()
+
+
+class TestRealExecution:
+    def test_engines_compute_identical_results(self):
+        data = np.random.default_rng(0).normal(size=(32, 40))
+        udf = lambda s: (s(0, -1) + s(0, 0) + s(0, 1)) / 3  # noqa: E731
+        cluster = laptop(nodes=4, cores=4)
+        mpi = MPIEngine(cluster, 4, ranks_per_node=2)
+        hybrid = HybridEngine(cluster, 4, threads_per_rank=3)
+        out_mpi = mpi.run(data, udf, boundary="clamp").result
+        out_hybrid = hybrid.run(data, udf, boundary="clamp").result
+        np.testing.assert_allclose(out_mpi, out_hybrid)
+        expected = np.empty_like(data)
+        padded = np.pad(data, ((0, 0), (1, 1)), mode="edge")
+        expected = (padded[:, :-2] + padded[:, 1:-1] + padded[:, 2:]) / 3
+        np.testing.assert_allclose(out_mpi, expected)
+
+    def test_halo_allows_cross_rank_stencils(self):
+        """A vertical (cross-channel) stencil needs ghost rows; results
+        must match the single-block reference exactly at partition
+        boundaries."""
+        data = np.random.default_rng(1).normal(size=(24, 10))
+        udf = lambda s: s(-1, 0) + s(1, 0)  # noqa: E731
+        cluster = laptop(nodes=4, cores=2)
+        engine = MPIEngine(cluster, 4, ranks_per_node=1)
+        out = engine.run(data, udf, halo=1, boundary="clamp").result
+        padded = np.pad(data, ((1, 1), (0, 0)), mode="edge")
+        expected = padded[:-2, :] + padded[2:, :]
+        np.testing.assert_allclose(out, expected)
+
+    def test_report_phases_populated(self):
+        data = np.ones((8, 8))
+        engine = HybridEngine(laptop(nodes=2, cores=2), 2, threads_per_rank=2)
+        report = engine.run(data, lambda s: s.value())
+        assert report.read_time > 0
+        assert report.compute_time > 0
+
+    def test_non_2d_rejected(self):
+        engine = MPIEngine(laptop(), 1, ranks_per_node=1)
+        with pytest.raises(ConfigError):
+            engine.run(np.zeros(5), lambda s: 0.0)

@@ -1,0 +1,151 @@
+"""Tests for the traffic-noise interferometry case study (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.arrayudf import apply
+from repro.core.interferometry import (
+    InterferometryConfig,
+    interferometry_block,
+    master_spectrum,
+    noise_correlation_functions,
+    preprocess,
+    traffic_noise_udf,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def config():
+    return InterferometryConfig(fs=100.0, band=(0.5, 10.0), resample_q=4)
+
+
+class TestConfig:
+    def test_out_fs(self, config):
+        assert config.out_fs == 25.0
+
+    def test_band_validation(self):
+        with pytest.raises(ConfigError):
+            InterferometryConfig(fs=100.0, band=(10.0, 5.0))
+        with pytest.raises(ConfigError):
+            InterferometryConfig(fs=100.0, band=(0.5, 60.0))
+        with pytest.raises(ConfigError):
+            InterferometryConfig(fs=100.0, band=(0.0, 10.0))
+
+    def test_aliasing_guard(self):
+        with pytest.raises(ConfigError, match="alias"):
+            InterferometryConfig(fs=100.0, band=(0.5, 12.0), resample_q=8)
+
+    def test_coefficients_are_bandpass(self, config):
+        import scipy.signal as sps
+
+        b, a = config.coefficients()
+        b_s, a_s = sps.butter(4, (0.5, 10.0), "bandpass", fs=100.0)
+        np.testing.assert_allclose(b, b_s, atol=1e-10)
+        np.testing.assert_allclose(a, a_s, atol=1e-10)
+
+
+class TestPreprocess:
+    def test_output_rate(self, config):
+        data = np.random.default_rng(0).normal(size=(3, 1000))
+        out = preprocess(data, config)
+        assert out.shape == (3, 250)
+
+    def test_removes_trend_and_out_of_band(self, config):
+        t = np.arange(2000) / config.fs
+        trend = 5.0 + 0.3 * t
+        inband = np.sin(2 * np.pi * 3.0 * t)
+        hum = np.sin(2 * np.pi * 30.0 * t)  # outside the 0.5-10 Hz band
+        out = preprocess((trend + inband + hum)[None, :], config)[0]
+        t_dec = np.arange(len(out)) / config.out_fs
+        expected = np.sin(2 * np.pi * 3.0 * t_dec)
+        core = slice(40, -40)
+        residual = out[core] - expected[core]
+        assert np.sqrt(np.mean(residual**2)) < 0.12
+
+    def test_1d_input(self, config):
+        out = preprocess(np.random.default_rng(1).normal(size=1000), config)
+        assert out.shape == (1, 250)
+
+
+class TestBlockKernel:
+    def test_master_correlates_with_itself(self, config):
+        data = np.random.default_rng(2).normal(size=(5, 1000))
+        out = interferometry_block(data, config)
+        assert out.shape == (5,)
+        assert out[config.master_channel] == pytest.approx(1.0)
+        assert np.all((out >= 0) & (out <= 1 + 1e-12))
+
+    def test_identical_channels_score_one(self, config):
+        base = np.random.default_rng(3).normal(size=1000)
+        data = np.tile(base, (4, 1))
+        out = interferometry_block(data, config)
+        np.testing.assert_allclose(out, 1.0, atol=1e-9)
+
+    def test_shared_master_fft(self, config):
+        """Engine path: the master spectrum computed once and passed in
+        gives the same answer as the in-block master."""
+        data = np.random.default_rng(4).normal(size=(6, 800))
+        inline = interferometry_block(data, config)
+        mfft = master_spectrum(data[0:1], config)
+        shared = interferometry_block(data, config, master_fft=mfft)
+        np.testing.assert_allclose(shared, inline, atol=1e-10)
+
+    def test_matches_udf_transcription(self, config):
+        """The vectorised kernel equals Algorithm 3 applied channel by
+        channel through the Stencil interface."""
+        data = np.random.default_rng(5).normal(size=(4, 600))
+        mfft = master_spectrum(data[0:1], config)
+        batch = interferometry_block(data, config, master_fft=mfft)
+
+        udf = traffic_noise_udf(config, mfft, series_len=600)
+        per_channel = apply(data, udf, core_cols=(0, 1))
+        np.testing.assert_allclose(per_channel[:, 0], batch, atol=1e-9)
+
+    def test_whitening_option(self):
+        config = InterferometryConfig(
+            fs=100.0, band=(0.5, 10.0), resample_q=4, whiten_spectra=True
+        )
+        data = np.random.default_rng(6).normal(size=(3, 1000))
+        out = interferometry_block(data, config)
+        assert out[0] == pytest.approx(1.0)
+
+    def test_non_2d_rejected(self, config):
+        with pytest.raises(ConfigError):
+            interferometry_block(np.zeros(100), config)
+
+
+class TestNoiseCorrelations:
+    def test_shapes_and_zero_lag(self, config):
+        data = np.random.default_rng(7).normal(size=(4, 1200))
+        lags, ncfs = noise_correlation_functions(data, config)
+        assert ncfs.shape[0] == 4
+        assert len(lags) == ncfs.shape[1]
+        assert lags[len(lags) // 2] == pytest.approx(0.0)
+
+    def test_master_autocorrelation_peaks_at_zero(self, config):
+        data = np.random.default_rng(8).normal(size=(3, 2000))
+        lags, ncfs = noise_correlation_functions(data, config)
+        master_row = ncfs[config.master_channel]
+        assert abs(lags[np.argmax(master_row)]) < 1e-9
+
+    def test_recovers_interchannel_delay(self):
+        """A common signal delayed by d samples on channel 1 puts the NCF
+        peak at lag d/out_fs — the physics interferometry relies on."""
+        config = InterferometryConfig(fs=100.0, band=(1.0, 10.0), resample_q=2)
+        rng = np.random.default_rng(9)
+        common = rng.normal(size=4000)
+        delay = 40  # samples at 100 Hz -> 0.4 s
+        ch0 = common
+        ch1 = np.roll(common, delay)
+        data = np.stack([ch0, ch1])
+        lags, ncfs = noise_correlation_functions(
+            data, config, max_lag_seconds=2.0
+        )
+        peak_lag = lags[np.argmax(np.abs(ncfs[1]))]
+        assert peak_lag == pytest.approx(delay / 100.0, abs=0.1)
+
+    def test_max_lag_trim(self, config):
+        data = np.random.default_rng(10).normal(size=(2, 1000))
+        lags, ncfs = noise_correlation_functions(data, config, max_lag_seconds=1.0)
+        assert np.all(np.abs(lags) <= 1.0 + 1e-9)

@@ -1,0 +1,170 @@
+"""Tests for the local-similarity case study (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.arrayudf import apply
+from repro.core.local_similarity import (
+    LocalSimilarityConfig,
+    local_similarity_block,
+    local_similarity_udf,
+)
+from repro.errors import ConfigError
+from repro.synthetic import earthquake_signal, vehicle_signal
+from repro.synthetic.noise import ambient_noise
+
+
+class TestConfig:
+    def test_derived_sizes(self):
+        cfg = LocalSimilarityConfig(half_window=10, channel_offset=2, half_lag=3, stride=5)
+        assert cfg.window_len == 21
+        assert cfg.time_halo == 13
+        assert cfg.channel_halo == 2
+
+    def test_centers_inside_valid_range(self):
+        cfg = LocalSimilarityConfig(half_window=10, half_lag=3, stride=7)
+        centers = cfg.centers(100)
+        assert centers[0] == 13
+        assert centers[-1] + cfg.time_halo <= 100
+
+    def test_centers_empty_for_short_series(self):
+        cfg = LocalSimilarityConfig(half_window=30, half_lag=10)
+        assert len(cfg.centers(50)) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            LocalSimilarityConfig(half_window=0)
+        with pytest.raises(ConfigError):
+            LocalSimilarityConfig(channel_offset=0)
+        with pytest.raises(ConfigError):
+            LocalSimilarityConfig(stride=0)
+
+
+class TestKernelEquivalence:
+    """The vectorised kernel must equal the literal Algorithm 2 UDF."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_block_matches_udf(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(8, 120))
+        cfg = LocalSimilarityConfig(half_window=5, channel_offset=1, half_lag=2, stride=9)
+
+        simi, centers = local_similarity_block(data, cfg)
+
+        udf = local_similarity_udf(cfg)
+        reference = apply(
+            data,
+            udf,
+            core_rows=(cfg.channel_offset, data.shape[0] - cfg.channel_offset),
+            core_cols=(int(centers[0]), int(centers[-1]) + 1),
+            col_stride=cfg.stride,
+        )
+        np.testing.assert_allclose(simi, reference, atol=1e-12)
+
+    def test_block_matches_udf_wider_offsets(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(10, 150))
+        cfg = LocalSimilarityConfig(half_window=7, channel_offset=3, half_lag=4, stride=11)
+        simi, centers = local_similarity_block(data, cfg)
+        udf = local_similarity_udf(cfg)
+        reference = apply(
+            data,
+            udf,
+            core_rows=(3, 7),
+            core_cols=(int(centers[0]), int(centers[-1]) + 1),
+            col_stride=cfg.stride,
+        )
+        np.testing.assert_allclose(simi, reference, atol=1e-12)
+
+
+class TestProperties:
+    def test_values_in_unit_interval(self):
+        data = np.random.default_rng(3).normal(size=(8, 200))
+        simi, _ = local_similarity_block(data, LocalSimilarityConfig(half_window=6, half_lag=2, stride=10))
+        assert np.all(simi >= 0.0)
+        assert np.all(simi <= 1.0 + 1e-12)
+
+    def test_coherent_signal_scores_high(self):
+        """A plane wave crossing all channels scores ~1; noise doesn't."""
+        rng = np.random.default_rng(4)
+        t = np.arange(400)
+        coherent = np.tile(np.sin(2 * np.pi * t / 25.0), (6, 1))
+        noise = rng.normal(size=(6, 400))
+        cfg = LocalSimilarityConfig(half_window=20, half_lag=3, stride=40)
+        simi_sig, _ = local_similarity_block(coherent + 0.05 * noise, cfg)
+        simi_noise, _ = local_similarity_block(noise, cfg)
+        assert simi_sig.mean() > 0.95
+        assert simi_noise.mean() < 0.5
+
+    def test_lag_search_recovers_moveout(self):
+        """A wavefront with one-sample-per-channel moveout is matched once
+        the lag search covers the shift."""
+        n_ch, n_t = 8, 300
+        base = np.sin(2 * np.pi * np.arange(n_t) / 30.0) * np.exp(
+            -((np.arange(n_t) - 150) ** 2) / 800.0
+        )
+        data = np.stack([np.roll(base, 3 * c) for c in range(n_ch)])
+        cfg_wide = LocalSimilarityConfig(half_window=15, half_lag=4, stride=30)
+        cfg_narrow = LocalSimilarityConfig(half_window=15, half_lag=0, stride=30)
+        wide, _ = local_similarity_block(data, cfg_wide)
+        narrow, _ = local_similarity_block(data, cfg_narrow)
+        assert wide.max() > narrow.max()
+
+    def test_channel_range_argument(self):
+        data = np.random.default_rng(5).normal(size=(10, 150))
+        cfg = LocalSimilarityConfig(half_window=5, half_lag=1, stride=10)
+        full, centers = local_similarity_block(data, cfg)
+        partial, centers2 = local_similarity_block(data, cfg, channel_range=(3, 6))
+        np.testing.assert_array_equal(centers, centers2)
+        np.testing.assert_allclose(partial, full[2:5])
+
+    def test_invalid_inputs(self):
+        cfg = LocalSimilarityConfig()
+        with pytest.raises(ConfigError):
+            local_similarity_block(np.zeros(10), cfg)
+        with pytest.raises(ConfigError):
+            local_similarity_block(
+                np.zeros((4, 200)), cfg, channel_range=(0, 4)
+            )
+
+    def test_short_series_empty_map(self):
+        cfg = LocalSimilarityConfig(half_window=30, half_lag=10)
+        simi, centers = local_similarity_block(np.zeros((4, 20)), cfg)
+        assert simi.shape == (2, 0)
+        assert len(centers) == 0
+
+
+class TestOnSyntheticEvents:
+    def test_earthquake_band_lights_up(self):
+        rng = np.random.default_rng(6)
+        fs = 50.0
+        n_ch, n_t = 24, 3000
+        noise = ambient_noise(n_ch, n_t, fs=fs, band=(0.5, 20), rng=rng)
+        quake = earthquake_signal(
+            n_ch, n_t, fs=fs, origin_time=30.0, apparent_velocity=3000.0,
+            amplitude=6.0, rng=rng,
+        )
+        cfg = LocalSimilarityConfig(half_window=25, half_lag=5, stride=50)
+        simi, centers = local_similarity_block(noise + quake, cfg)
+        t_centers = centers / fs
+        during = simi[:, (t_centers > 30) & (t_centers < 40)]
+        before = simi[:, t_centers < 25]
+        assert during.mean() > before.mean() + 0.15
+
+    def test_vehicle_ridge_is_localised(self):
+        rng = np.random.default_rng(7)
+        fs = 50.0
+        n_ch, n_t = 40, 3000
+        noise = ambient_noise(n_ch, n_t, fs=fs, band=(0.5, 20), rng=rng)
+        car = vehicle_signal(
+            n_ch, n_t, fs=fs, start_time=5.0, start_channel=0.0,
+            speed_mps=1.0, channel_spacing=2.0, width_channels=4.0, amplitude=6.0,
+        )
+        cfg = LocalSimilarityConfig(half_window=25, half_lag=5, stride=50)
+        simi, centers = local_similarity_block(noise + car, cfg)
+        # At t=20s the car is at channel 10: nearby channels bright,
+        # distant channels not.
+        col = np.argmin(np.abs(centers / fs - 20.0))
+        near = simi[8:12, col].mean()
+        far = simi[30:36, col].mean()
+        assert near > far + 0.2

@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) for DasLib invariants."""
+
+import numpy as np
+import scipy.signal as sps
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.daslib import (
+    abscorr,
+    butter,
+    detrend,
+    filtfilt,
+    get_window,
+    lfilter,
+    moving_average,
+    next_fast_len,
+    resample,
+    taper,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def series(min_size=2, max_size=200):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(min_size, max_size),
+        elements=finite_floats,
+    )
+
+
+class TestAbscorrProps:
+    @settings(max_examples=100, deadline=None)
+    @given(series(min_size=4))
+    def test_self_correlation_is_one_or_zero(self, x):
+        value = abscorr(x, x)
+        if np.linalg.norm(x) > 1e-290:  # above the dead-window epsilon
+            assert abs(value - 1.0) < 1e-9
+        else:
+            assert value == 0.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(series(min_size=4), st.floats(0.01, 100), st.floats(0.01, 100))
+    def test_scale_invariance(self, x, a, b):
+        y = np.roll(x, 1)
+        v1 = abscorr(x, y)
+        v2 = abscorr(a * x, b * y)
+        assert abs(v1 - v2) < 1e-6
+
+    @settings(max_examples=100, deadline=None)
+    @given(series(min_size=4))
+    def test_symmetry(self, x):
+        y = x[::-1].copy()
+        assert abs(abscorr(x, y) - abscorr(y, x)) < 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(series(min_size=4))
+    def test_bounded(self, x):
+        y = np.roll(x, 2)
+        assert 0.0 <= abscorr(x, y) <= 1.0 + 1e-9
+
+
+class TestDetrendProps:
+    @settings(max_examples=80, deadline=None)
+    @given(series(min_size=3))
+    def test_idempotent(self, x):
+        once = detrend(x)
+        twice = detrend(once)
+        scale = max(1.0, np.abs(x).max())
+        np.testing.assert_allclose(once, twice, atol=1e-7 * scale)
+
+    @settings(max_examples=80, deadline=None)
+    @given(series(min_size=3), st.floats(-100, 100), st.floats(-100, 100))
+    def test_invariant_to_added_line(self, x, slope, intercept):
+        t = np.arange(len(x), dtype=np.float64)
+        scale = max(1.0, np.abs(x).max(), abs(slope) * len(x), abs(intercept))
+        np.testing.assert_allclose(
+            detrend(x + slope * t + intercept), detrend(x), atol=1e-7 * scale
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(series(min_size=3))
+    def test_output_zero_mean(self, x):
+        out = detrend(x)
+        scale = max(1.0, np.abs(x).max())
+        assert abs(out.mean()) < 1e-7 * scale
+
+
+class TestFilterProps:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(1, 6),
+        st.floats(0.05, 0.9),
+        st.integers(50, 300),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_designed_filters_are_stable(self, order, wn, n, seed):
+        b, a = butter(order, wn)
+        assert np.all(np.abs(np.roots(a)) < 1.0 + 1e-9)
+        rng = np.random.default_rng(seed)
+        y = lfilter(b, a, rng.normal(size=n), engine="numpy")
+        assert np.all(np.isfinite(y))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 5), st.floats(0.1, 0.8), st.integers(0, 2**31 - 1))
+    def test_lfilter_linearity(self, order, wn, seed):
+        b, a = butter(order, wn)
+        rng = np.random.default_rng(seed)
+        x1 = rng.normal(size=100)
+        x2 = rng.normal(size=100)
+        lhs = lfilter(b, a, 2.0 * x1 + 3.0 * x2, engine="numpy")
+        rhs = 2.0 * lfilter(b, a, x1, engine="numpy") + 3.0 * lfilter(
+            b, a, x2, engine="numpy"
+        )
+        np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 4), st.floats(0.1, 0.7), st.integers(0, 2**31 - 1))
+    def test_numpy_engine_matches_scipy(self, order, wn, seed):
+        b, a = butter(order, wn)
+        x = np.random.default_rng(seed).normal(size=128)
+        np.testing.assert_allclose(
+            lfilter(b, a, x, engine="numpy"), sps.lfilter(b, a, x), atol=1e-9
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 4), st.floats(0.15, 0.6), st.integers(0, 2**31 - 1))
+    def test_filtfilt_matches_scipy_everywhere(self, order, wn, seed):
+        """Oracle property: our filtfilt (padding, zi, both passes) equals
+        scipy's over random filters and signals, edges included."""
+        b, a = butter(order, wn)
+        x = np.random.default_rng(seed).normal(size=200)
+        ours = filtfilt(b, a, x, engine="numpy")
+        scipys = sps.filtfilt(b, a, x)
+        scale = max(1.0, np.abs(x).max())
+        np.testing.assert_allclose(ours, scipys, atol=1e-8 * scale)
+
+
+class TestResampleProps:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(1, 5),
+        st.integers(1, 5),
+        st.integers(30, 400),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_output_length_convention(self, p, q, n, seed):
+        x = np.random.default_rng(seed).normal(size=n)
+        out = resample(x, p, q)
+        assert len(out) == -(-n * p // q)  # ceil(n*p/q)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(30, 200), st.integers(0, 2**31 - 1))
+    def test_identity_rate(self, n, seed):
+        x = np.random.default_rng(seed).normal(size=n)
+        np.testing.assert_allclose(resample(x, 3, 3), x, atol=1e-12)
+
+
+class TestWindowProps:
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(["hann", "hamming", "blackman"]), st.integers(2, 200))
+    def test_symmetry(self, name, n):
+        w = get_window(name, n)
+        np.testing.assert_allclose(w, w[::-1], atol=1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 100), st.floats(0.0, 0.5))
+    def test_taper_never_amplifies(self, n, fraction):
+        x = np.ones(n)
+        y = taper(x, fraction)
+        assert np.all(y <= 1.0 + 1e-12)
+        assert np.all(y >= -1e-12)
+
+
+class TestMovingAverageProps:
+    @settings(max_examples=60, deadline=None)
+    @given(series(min_size=1, max_size=100), st.integers(1, 20))
+    def test_preserves_constant(self, x, width):
+        c = np.full_like(x, 7.5)
+        np.testing.assert_allclose(moving_average(c, width), 7.5)
+
+    @settings(max_examples=60, deadline=None)
+    @given(series(min_size=1, max_size=100), st.integers(1, 20))
+    def test_bounded_by_extremes(self, x, width):
+        out = moving_average(x, width)
+        eps = 1e-9 * max(1.0, np.abs(x).max())  # cumsum rounding at scale
+        assert np.all(out <= x.max() + eps)
+        assert np.all(out >= x.min() - eps)
+
+
+class TestNextFastLenProps:
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(1, 10**6))
+    def test_result_is_5_smooth_and_geq(self, n):
+        m = next_fast_len(n)
+        assert m >= n
+        k = m
+        for p in (2, 3, 5):
+            while k % p == 0:
+                k //= p
+        assert k == 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(1, 46656))
+    def test_fixed_point_on_smooth_numbers(self, n):
+        m = next_fast_len(n)
+        assert next_fast_len(m) == m

@@ -1,0 +1,95 @@
+"""Tests for STFT/spectrogram/band power, cross-validated against scipy."""
+
+import numpy as np
+import pytest
+import scipy.signal as sps
+
+from repro.daslib.spectrogram import band_power, spectrogram, stft
+
+
+class TestSTFT:
+    def test_shapes(self):
+        x = np.random.default_rng(0).normal(size=1000)
+        freqs, times, S = stft(x, nperseg=128, fs=100.0)
+        assert S.shape == (len(freqs), len(times))
+        assert freqs[0] == 0.0
+        assert freqs[-1] == pytest.approx(50.0)
+
+    def test_2d_batch(self):
+        x = np.random.default_rng(1).normal(size=(3, 800))
+        freqs, times, S = stft(x, nperseg=64)
+        assert S.shape == (3, len(freqs), len(times))
+
+    def test_tone_lands_in_right_bin(self):
+        fs = 200.0
+        t = np.arange(4000) / fs
+        x = np.sin(2 * np.pi * 25.0 * t)
+        freqs, times, S = stft(x, nperseg=256, fs=fs)
+        peak_bins = np.argmax(np.abs(S), axis=0)
+        np.testing.assert_allclose(freqs[peak_bins], 25.0, atol=fs / 256)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stft(np.zeros(10), nperseg=64)
+        with pytest.raises(ValueError):
+            stft(np.zeros(100), nperseg=1)
+        with pytest.raises(ValueError):
+            stft(np.zeros(100), nperseg=32, noverlap=32)
+
+
+class TestSpectrogram:
+    def test_matches_scipy_density(self):
+        fs = 100.0
+        x = np.random.default_rng(2).normal(size=2048)
+        freqs, times, power = spectrogram(x, nperseg=128, noverlap=64, fs=fs)
+        f_s, t_s, p_s = sps.spectrogram(
+            x,
+            fs=fs,
+            window=sps.get_window("hann", 128, fftbins=False),
+            nperseg=128,
+            noverlap=64,
+            detrend=False,
+            scaling="density",
+            mode="psd",
+        )
+        np.testing.assert_allclose(freqs, f_s, atol=1e-12)
+        # scipy centres at (nperseg/2 - 0.5)/fs offsets; compare frame count
+        assert power.shape == p_s.shape
+        np.testing.assert_allclose(power, p_s, rtol=1e-6, atol=1e-12)
+
+    def test_parseval_energy(self):
+        """Total spectrogram power approximates the signal variance."""
+        fs = 100.0
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=8192)
+        freqs, times, power = spectrogram(x, nperseg=256, noverlap=0, fs=fs)
+        df = freqs[1] - freqs[0]
+        mean_power = power.mean(axis=-1).sum() * df
+        assert mean_power == pytest.approx(np.var(x), rel=0.1)
+
+
+class TestBandPower:
+    def test_separates_bands(self):
+        fs = 200.0
+        t = np.arange(8000) / fs
+        low = np.sin(2 * np.pi * 5.0 * t)
+        high = np.sin(2 * np.pi * 60.0 * t)
+        times, p_low = band_power(low + high, fs, (2.0, 10.0), nperseg=256)
+        _, p_high = band_power(low + high, fs, (50.0, 70.0), nperseg=256)
+        _, p_empty = band_power(low + high, fs, (85.0, 95.0), nperseg=256)
+        assert p_low.mean() > 10 * p_empty.mean()
+        assert p_high.mean() > 10 * p_empty.mean()
+
+    def test_transient_localised_in_time(self):
+        fs = 100.0
+        x = np.random.default_rng(4).normal(size=4000) * 0.01
+        x[2000:2200] += np.sin(2 * np.pi * 20.0 * np.arange(200) / fs)
+        times, p = band_power(x, fs, (15.0, 25.0), nperseg=128, noverlap=64)
+        peak_time = times[np.argmax(p)]
+        assert 19.0 < peak_time < 23.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            band_power(np.zeros(1000), 100.0, (60.0, 40.0))
+        with pytest.raises(ValueError):
+            band_power(np.zeros(1000), 100.0, (0.01, 0.02), nperseg=16)

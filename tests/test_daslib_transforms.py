@@ -1,0 +1,349 @@
+"""Tests for detrend, resample, interp1, fft helpers, windows, whitening,
+moving statistics."""
+
+import numpy as np
+import pytest
+import scipy.fft
+import scipy.signal as sps
+
+from repro.daslib import (
+    decimate,
+    demean,
+    detrend,
+    fft,
+    get_window,
+    ifft,
+    interp1,
+    irfft,
+    moving_average,
+    next_fast_len,
+    resample,
+    rfft,
+    sliding_windows,
+    taper,
+    upfirdn,
+    whiten,
+)
+
+
+class TestDetrend:
+    def test_constant_removes_mean(self):
+        x = np.arange(10.0) + 5.0
+        out = detrend(x, type="constant")
+        assert out.mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_linear_removes_line_exactly(self):
+        t = np.arange(100.0)
+        x = 3.0 * t + 7.0
+        np.testing.assert_allclose(detrend(x), 0.0, atol=1e-9)
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=200) + 0.05 * np.arange(200)
+        np.testing.assert_allclose(detrend(x), sps.detrend(x), atol=1e-9)
+
+    def test_2d_per_row(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(5, 100)) + np.linspace(0, 3, 100)
+        got = detrend(x, axis=-1)
+        np.testing.assert_allclose(got, sps.detrend(x, axis=-1), atol=1e-9)
+
+    def test_axis0(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(50, 4))
+        np.testing.assert_allclose(
+            detrend(x, axis=0), sps.detrend(x, axis=0), atol=1e-9
+        )
+
+    def test_demean(self):
+        x = np.random.default_rng(3).normal(size=(3, 50)) + 10
+        out = demean(x)
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-12)
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError):
+            detrend(np.zeros(4), type="quadratic")
+
+    def test_preserves_signal_shape(self):
+        x = np.sin(np.linspace(0, 20, 500)) + np.linspace(-2, 2, 500)
+        out = detrend(x)
+        # the sinusoid survives detrending
+        assert np.std(out) > 0.5
+
+
+class TestResample:
+    def test_length_matlab_convention(self):
+        x = np.zeros(1000)
+        assert resample(x, 1, 4).shape == (250,)
+        assert resample(x, 2, 3).shape == (-(-1000 * 2 // 3),)
+        assert resample(x, 1, 1).shape == (1000,)
+
+    def test_downsample_preserves_low_frequency(self):
+        fs = 500.0
+        t = np.arange(0, 8.0, 1 / fs)
+        x = np.sin(2 * np.pi * 3.0 * t)
+        y = resample(x, 1, 4)
+        t_dec = np.arange(len(y)) * 4 / fs
+        expected = np.sin(2 * np.pi * 3.0 * t_dec)
+        core = slice(50, -50)
+        np.testing.assert_allclose(y[core], expected[core], atol=0.02)
+
+    def test_upsample_preserves_signal(self):
+        fs = 100.0
+        t = np.arange(0, 4.0, 1 / fs)
+        x = np.sin(2 * np.pi * 2.0 * t)
+        y = resample(x, 3, 1)
+        t_up = np.arange(len(y)) / (3 * fs)
+        core = slice(60, -60)
+        np.testing.assert_allclose(
+            y[core], np.sin(2 * np.pi * 2.0 * t_up)[core], atol=0.02
+        )
+
+    def test_antialiasing(self):
+        """A tone above the output Nyquist must be attenuated."""
+        fs = 500.0
+        t = np.arange(0, 8.0, 1 / fs)
+        x = np.sin(2 * np.pi * 100.0 * t)  # above 62.5 Hz output Nyquist
+        y = resample(x, 1, 4)
+        assert np.sqrt(np.mean(y[100:-100] ** 2)) < 0.05
+
+    def test_2d_along_axis(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(3, 400))
+        y = resample(x, 1, 2, axis=-1)
+        assert y.shape == (3, 200)
+        y0 = resample(x[0], 1, 2)
+        np.testing.assert_allclose(y[0], y0, atol=1e-12)
+
+    def test_gcd_reduction(self):
+        x = np.random.default_rng(5).normal(size=300)
+        np.testing.assert_allclose(resample(x, 2, 4), resample(x, 1, 2), atol=1e-12)
+
+    def test_decimate(self):
+        x = np.random.default_rng(6).normal(size=400)
+        np.testing.assert_allclose(decimate(x, 4), resample(x, 1, 4), atol=1e-12)
+        np.testing.assert_allclose(decimate(x, 1), x)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            resample(np.zeros(10), 0, 1)
+        with pytest.raises(ValueError):
+            decimate(np.zeros(10), 0)
+
+
+class TestUpfirdn:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=100)
+        taps = sps.firwin(31, 0.3)
+        for up, down in ((1, 1), (2, 1), (1, 3), (3, 2)):
+            got = upfirdn(taps, x, up, down)
+            expected = sps.upfirdn(taps, x, up, down)
+            np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_identity(self):
+        x = np.arange(10.0)
+        np.testing.assert_allclose(upfirdn([1.0], x), x, atol=1e-12)
+
+
+class TestInterp1:
+    def test_linear_exact_at_knots(self):
+        x0 = np.array([0.0, 1.0, 2.0, 4.0])
+        y0 = np.array([0.0, 10.0, 20.0, 40.0])
+        np.testing.assert_allclose(interp1(x0, y0, x0), y0, atol=1e-12)
+
+    def test_linear_midpoints(self):
+        x0 = np.array([0.0, 2.0])
+        y0 = np.array([0.0, 4.0])
+        assert interp1(x0, y0, np.array([1.0]))[0] == pytest.approx(2.0)
+
+    def test_matches_numpy_interp(self):
+        rng = np.random.default_rng(8)
+        x0 = np.sort(rng.uniform(0, 10, 20))
+        y0 = rng.normal(size=20)
+        x = rng.uniform(x0[0], x0[-1], 50)
+        np.testing.assert_allclose(interp1(x0, y0, x), np.interp(x, x0, y0), atol=1e-12)
+
+    def test_nearest(self):
+        x0 = np.array([0.0, 1.0, 2.0])
+        y0 = np.array([10.0, 20.0, 30.0])
+        got = interp1(x0, y0, np.array([0.4, 0.6, 1.9]), kind="nearest")
+        np.testing.assert_allclose(got, [10.0, 20.0, 30.0])
+
+    def test_out_of_range_nan(self):
+        x0 = np.array([0.0, 1.0])
+        y0 = np.array([0.0, 1.0])
+        out = interp1(x0, y0, np.array([-1.0, 2.0]))
+        assert np.isnan(out).all()
+
+    def test_extrapolate(self):
+        x0 = np.array([0.0, 1.0])
+        y0 = np.array([0.0, 2.0])
+        out = interp1(x0, y0, np.array([2.0]), fill_value="extrapolate")
+        assert out[0] == pytest.approx(4.0)
+
+    def test_unsorted_input_sorted_internally(self):
+        x0 = np.array([2.0, 0.0, 1.0])
+        y0 = np.array([20.0, 0.0, 10.0])
+        assert interp1(x0, y0, np.array([0.5]))[0] == pytest.approx(5.0)
+
+    def test_2d_y(self):
+        x0 = np.arange(5.0)
+        y0 = np.vstack([x0, 2 * x0])
+        out = interp1(x0, y0, np.array([0.5, 2.5]), axis=-1)
+        np.testing.assert_allclose(out, [[0.5, 2.5], [1.0, 5.0]])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            interp1(np.array([0.0]), np.array([1.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            interp1(np.array([0.0, 0.0]), np.array([1.0, 2.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            interp1(np.arange(3.0), np.arange(3.0), np.zeros(1), kind="cubic")
+
+
+class TestFFTHelpers:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=128)
+        np.testing.assert_allclose(ifft(fft(x)).real, x, atol=1e-12)
+        np.testing.assert_allclose(irfft(rfft(x), 128), x, atol=1e-12)
+
+    @pytest.mark.parametrize("n", [1, 2, 7, 11, 13, 97, 1000, 1024, 30000, 46656])
+    def test_next_fast_len_matches_scipy(self, n):
+        # scipy.fftpack's variant is the 5-smooth ("regular number")
+        # definition we implement; scipy.fft's also admits 7/11 factors.
+        import scipy.fftpack
+
+        assert next_fast_len(n) == scipy.fftpack.next_fast_len(n)
+
+    def test_next_fast_len_is_5_smooth(self):
+        for n in (17, 123, 999, 12345):
+            m = next_fast_len(n)
+            assert m >= n
+            for p in (2, 3, 5):
+                while m % p == 0:
+                    m //= p
+            assert m == 1
+
+    def test_next_fast_len_invalid(self):
+        with pytest.raises(ValueError):
+            next_fast_len(0)
+
+
+class TestWindows:
+    @pytest.mark.parametrize("name", ["hann", "hamming", "blackman"])
+    def test_matches_scipy(self, name):
+        got = get_window(name, 65)
+        expected = sps.get_window(name, 65, fftbins=False)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_kaiser_matches_numpy(self):
+        np.testing.assert_allclose(
+            get_window(("kaiser", 5.0), 33), np.kaiser(33, 5.0), atol=1e-12
+        )
+
+    def test_boxcar(self):
+        np.testing.assert_array_equal(get_window("boxcar", 8), np.ones(8))
+
+    def test_length_one(self):
+        for name in ("hann", "hamming", "blackman"):
+            assert get_window(name, 1).shape == (1,)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_window("flattop9000", 8)
+        with pytest.raises(ValueError):
+            get_window(("gauss", 1.0), 8)
+        with pytest.raises(ValueError):
+            get_window("hann", 0)
+
+    def test_taper_edges_to_zero_keeps_middle(self):
+        x = np.ones(1000)
+        y = taper(x, 0.1)
+        assert y[0] == pytest.approx(0.0, abs=1e-12)
+        assert y[-1] == pytest.approx(0.0, abs=1e-12)
+        np.testing.assert_allclose(y[300:700], 1.0)
+
+    def test_taper_zero_fraction_identity(self):
+        x = np.random.default_rng(10).normal(size=50)
+        np.testing.assert_allclose(taper(x, 0.0), x)
+
+    def test_taper_invalid(self):
+        with pytest.raises(ValueError):
+            taper(np.ones(10), 0.9)
+
+
+class TestWhiten:
+    def test_flattens_amplitude(self):
+        rng = np.random.default_rng(11)
+        spec = rng.normal(size=256) * (1 + np.arange(256.0)) + 1j * rng.normal(size=256)
+        white = whiten(spec)
+        np.testing.assert_allclose(np.abs(white), 1.0, atol=1e-6)
+
+    def test_preserves_phase(self):
+        spec = np.array([3 + 4j, -2 + 0j, 0 + 5j])
+        white = whiten(spec)
+        np.testing.assert_allclose(np.angle(white), np.angle(spec), atol=1e-9)
+
+    def test_smooth_bins(self):
+        spec = np.ones(64, dtype=complex)
+        spec[32] = 100.0
+        white = whiten(spec, smooth_bins=8)
+        # The spike is suppressed relative to raw whitening of neighbours
+        assert np.abs(white[32]) < 100.0
+        assert np.abs(white[0]) == pytest.approx(1.0, rel=1e-3)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            whiten(np.ones(4, dtype=complex), smooth_bins=0)
+
+
+class TestMoving:
+    def test_moving_average_flat(self):
+        np.testing.assert_allclose(moving_average(np.ones(10), 3), 1.0)
+
+    def test_matches_manual(self):
+        x = np.arange(6.0)
+        got = moving_average(x, 3)
+        expected = np.array(
+            [np.mean(x[max(0, i - 1) : i + 2]) for i in range(6)]
+        )
+        np.testing.assert_allclose(got, expected)
+
+    def test_width_one_identity(self):
+        x = np.random.default_rng(12).normal(size=20)
+        np.testing.assert_allclose(moving_average(x, 1), x)
+
+    def test_2d(self):
+        x = np.vstack([np.arange(6.0), np.arange(6.0) * 2])
+        got = moving_average(x, 3, axis=-1)
+        np.testing.assert_allclose(got[1], 2 * got[0])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones(5), 0)
+
+    def test_sliding_windows_values(self):
+        x = np.arange(10)
+        w = sliding_windows(x, 4, step=2)
+        np.testing.assert_array_equal(w[0], [0, 1, 2, 3])
+        np.testing.assert_array_equal(w[1], [2, 3, 4, 5])
+        assert w.shape == (4, 4)
+
+    def test_sliding_windows_no_copy(self):
+        x = np.arange(10)
+        w = sliding_windows(x, 3)
+        assert w.base is not None
+
+    def test_sliding_windows_2d(self):
+        x = np.arange(20).reshape(2, 10)
+        w = sliding_windows(x, 5, step=5, axis=-1)
+        assert w.shape == (2, 2, 5)
+        np.testing.assert_array_equal(w[1, 1], x[1, 5:10])
+
+    def test_sliding_windows_invalid(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.arange(3), 5)
+        with pytest.raises(ValueError):
+            sliding_windows(np.arange(10), 0)

@@ -1,0 +1,52 @@
+"""Smoke tests: every shipped example must run to completion and print
+its headline results.  Kept at scaled sizes so the whole module stays
+under a minute."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name: str, timeout: float = 300.0) -> str:
+    path = os.path.join(EXAMPLES, name)
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        check=False,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "VCA shape" in out
+        assert "smoothing reduced RMS" in out
+
+    def test_earthquake_detection(self):
+        out = run_example("earthquake_detection.py")
+        assert "earthquake" in out
+        assert "vehicle" in out
+        assert "persistent" in out
+
+    def test_traffic_interferometry(self):
+        out = run_example("traffic_interferometry.py")
+        assert "moveout recovered" in out
+
+    def test_scaling_study(self):
+        out = run_example("scaling_study.py")
+        assert "OUT OF MEMORY" in out.upper() or "out of memory" in out
+        assert "1456" in out
+
+    def test_velocity_profiling(self):
+        out = run_example("velocity_profiling.py")
+        assert "m/s" in out
+        assert "err" in out

@@ -1,0 +1,123 @@
+"""Property-based tests (hypothesis) for hyperslab algebra.
+
+Invariants:
+
+* ``contiguous_runs`` materialisation equals numpy fancy slicing for every
+  valid basic selection;
+* runs are disjoint, ordered, and their total length equals the selection
+  size;
+* ``intersect`` is commutative and yields a region contained in both
+  operands.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdf5lite.hyperslab import (
+    Hyperslab,
+    contiguous_runs,
+    intersect,
+    normalize_selection,
+    selection_shape,
+)
+
+
+@st.composite
+def shapes(draw, max_ndim=3, max_dim=12):
+    ndim = draw(st.integers(1, max_ndim))
+    return tuple(draw(st.integers(1, max_dim)) for _ in range(ndim))
+
+
+@st.composite
+def shape_and_selection(draw):
+    shape = draw(shapes())
+    sel = []
+    for dim in shape:
+        kind = draw(st.sampled_from(["int", "slice", "full"]))
+        if kind == "int":
+            sel.append(draw(st.integers(-dim, dim - 1)))
+        elif kind == "full":
+            sel.append(slice(None))
+        else:
+            start = draw(st.one_of(st.none(), st.integers(-dim - 2, dim + 2)))
+            stop = draw(st.one_of(st.none(), st.integers(-dim - 2, dim + 2)))
+            step = draw(st.integers(1, 4))
+            sel.append(slice(start, stop, step))
+    return shape, tuple(sel)
+
+
+@st.composite
+def unit_slabs(draw, shape):
+    start = tuple(draw(st.integers(0, dim - 1)) for dim in shape)
+    count = tuple(
+        draw(st.integers(1, dim - s)) for s, dim in zip(start, shape)
+    )
+    return Hyperslab(start, count, tuple(1 for _ in shape))
+
+
+@settings(max_examples=150, deadline=None)
+@given(shape_and_selection())
+def test_runs_match_numpy(case):
+    shape, sel = case
+    arr = np.arange(int(np.prod(shape))).reshape(shape)
+    hs, squeeze = normalize_selection(sel, shape)
+    flat = arr.reshape(-1)
+    parts = [flat[off : off + n] for off, n in contiguous_runs(hs, shape)]
+    got = (
+        np.concatenate(parts) if parts else np.empty(0, dtype=arr.dtype)
+    ).reshape(selection_shape(hs, squeeze))
+    np.testing.assert_array_equal(got, arr[sel])
+
+
+@settings(max_examples=150, deadline=None)
+@given(shape_and_selection())
+def test_runs_disjoint_ordered_and_sized(case):
+    shape, sel = case
+    hs, _ = normalize_selection(sel, shape)
+    runs = list(contiguous_runs(hs, shape))
+    total = 0
+    prev_end = -1
+    seen = set()
+    for off, n in runs:
+        assert n > 0
+        assert off > prev_end or off not in seen
+        for k in range(off, off + n):
+            assert k not in seen
+            seen.add(k)
+        prev_end = off + n - 1
+        total += n
+    assert total == hs.size
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.data())
+def test_intersect_commutative_and_contained(data):
+    shape = data.draw(shapes())
+    a = data.draw(unit_slabs(shape))
+    b = data.draw(unit_slabs(shape))
+    ab = intersect(a, b)
+    ba = intersect(b, a)
+    assert ab == ba
+    if ab is not None:
+        for dim in range(len(shape)):
+            assert ab.start[dim] >= max(a.start[dim], b.start[dim])
+            assert ab.start[dim] + ab.count[dim] <= min(
+                a.start[dim] + a.count[dim], b.start[dim] + b.count[dim]
+            )
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.data())
+def test_intersect_with_self_is_identity(data):
+    shape = data.draw(shapes())
+    a = data.draw(unit_slabs(shape))
+    assert intersect(a, a) == a
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.data())
+def test_full_selection_is_single_run(data):
+    shape = data.draw(shapes())
+    runs = list(contiguous_runs(Hyperslab.full(shape), shape))
+    assert runs == [(0, int(np.prod(shape)))]

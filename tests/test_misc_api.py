@@ -1,0 +1,129 @@
+"""Top-level API surface, block iteration, and rendering utilities."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ConfigError, SelectionError
+from repro.hdf5lite import File
+from repro.synthetic.render import to_ascii, wiggle_summary
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_lazy_dassa_import(self):
+        assert repro.DASSA.__name__ == "DASSA"
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_thing
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.FormatError, repro.ReproError)
+        assert issubclass(repro.MPIError, repro.ReproError)
+        assert issubclass(repro.OutOfMemoryError, repro.ReproError)
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestIterBlocks:
+    def test_blocks_cover_dataset(self, tmp_path):
+        data = np.arange(100.0).reshape(20, 5)
+        with File(str(tmp_path / "f.h5"), "w") as f:
+            f.create_dataset("d", data=data)
+        with File(str(tmp_path / "f.h5"), "r") as f:
+            ds = f.dataset("d")
+            rebuilt = np.empty_like(data)
+            sizes = []
+            for sl, block in ds.iter_blocks(7):
+                rebuilt[sl] = block
+                sizes.append(block.shape[0])
+            np.testing.assert_array_equal(rebuilt, data)
+            assert sizes == [7, 7, 6]
+
+    def test_block_larger_than_dataset(self, tmp_path):
+        data = np.ones((3, 4))
+        with File(str(tmp_path / "f.h5"), "w") as f:
+            f.create_dataset("d", data=data)
+        with File(str(tmp_path / "f.h5"), "r") as f:
+            blocks = list(f.dataset("d").iter_blocks(100))
+            assert len(blocks) == 1
+            np.testing.assert_array_equal(blocks[0][1], data)
+
+    def test_works_on_virtual(self, tmp_path):
+        from repro.hdf5lite import VirtualSource
+
+        src = str(tmp_path / "s.h5")
+        data = np.arange(24.0).reshape(6, 4)
+        with File(src, "w") as f:
+            f.create_dataset("d", data=data)
+        with File(str(tmp_path / "v.h5"), "w") as f:
+            ds = f.create_dataset(
+                "v",
+                shape=(6, 4),
+                dtype=np.float64,
+                virtual_sources=[VirtualSource(src, "/d", (0, 0), (0, 0), (6, 4))],
+            )
+        with File(str(tmp_path / "v.h5"), "r") as f:
+            rebuilt = np.concatenate(
+                [block for _, block in f.dataset("v").iter_blocks(4)]
+            )
+            np.testing.assert_array_equal(rebuilt, data)
+
+    def test_invalid(self, tmp_path):
+        with File(str(tmp_path / "f.h5"), "w") as f:
+            ds = f.create_dataset("d", data=np.zeros((4, 4)))
+            with pytest.raises(SelectionError):
+                list(ds.iter_blocks(0))
+
+
+class TestRender:
+    def test_ascii_shape(self):
+        art = to_ascii(np.random.default_rng(0).normal(size=(100, 200)), rows=10, cols=40)
+        lines = art.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_bright_spot_renders_bright(self):
+        arr = np.zeros((20, 20))
+        arr[10, 10] = 100.0
+        art = to_ascii(arr, rows=20, cols=20)
+        assert "@" in art.splitlines()[10]
+
+    def test_small_array_not_upsampled(self):
+        art = to_ascii(np.eye(3), rows=10, cols=10)
+        assert len(art.splitlines()) == 3
+
+    def test_clip_percentile(self):
+        rng = np.random.default_rng(1)
+        arr = rng.uniform(0, 1, size=(10, 10))
+        arr[0, 0] = 1e9  # outlier flattens everything without clipping
+        art_raw = to_ascii(arr)
+        art_clip = to_ascii(arr, clip_percentile=95.0)
+        # Unclipped: only the outlier is bright, the rest is one shade.
+        assert len(set(art_raw.replace("\n", ""))) <= 2
+        # Clipped: the background regains contrast (several shades used).
+        assert len(set(art_clip.replace("\n", ""))) > 3
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            to_ascii(np.zeros(5))
+        with pytest.raises(ConfigError):
+            to_ascii(np.zeros((2, 2)), rows=0)
+        with pytest.raises(ConfigError):
+            to_ascii(np.zeros((2, 2)), clip_percentile=10.0)
+
+    def test_wiggle_summary(self):
+        data = np.vstack([np.ones(100) * (i + 1) for i in range(4)])
+        text = wiggle_summary(data, n_channels=4, width=20)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[-1].count("#") == 20  # loudest channel fills the bar
+
+    def test_wiggle_invalid(self):
+        with pytest.raises(ConfigError):
+            wiggle_summary(np.zeros(3))

@@ -1,0 +1,68 @@
+"""Tests for static_map / pool_map task distribution."""
+
+import pytest
+
+from repro.errors import MPIError
+from repro.simmpi.futures import pool_map, static_map
+
+
+class TestStaticMap:
+    def test_results_in_order(self):
+        out = static_map(lambda x: x * x, list(range(13)), size=4)
+        assert out == [x * x for x in range(13)]
+
+    def test_fewer_items_than_ranks(self):
+        out = static_map(lambda x: -x, [5, 6], size=6)
+        assert out == [-5, -6]
+
+    def test_empty_items(self):
+        assert static_map(lambda x: x, [], size=3) == []
+
+    def test_single_rank(self):
+        assert static_map(lambda x: x + 1, [1, 2, 3], size=1) == [2, 3, 4]
+
+    def test_non_numeric_items(self):
+        out = static_map(str.upper, ["a", "bc", "def"], size=2)
+        assert out == ["A", "BC", "DEF"]
+
+
+class TestPoolMap:
+    def test_results_in_order(self):
+        out = pool_map(lambda x: 2 * x, list(range(20)), size=4)
+        assert out == [2 * x for x in range(20)]
+
+    def test_uneven_workloads_complete(self):
+        def task(x):
+            # artificial imbalance: some items loop longer
+            total = 0
+            for i in range((x % 5) * 1000):
+                total += i
+            return x
+
+        items = list(range(17))
+        assert pool_map(task, items, size=3) == items
+
+    def test_fewer_items_than_workers(self):
+        out = pool_map(lambda x: x, [42], size=5)
+        assert out == [42]
+
+    def test_empty_items(self):
+        assert pool_map(lambda x: x, [], size=3) == []
+
+    def test_size_one_rejected(self):
+        with pytest.raises(MPIError):
+            pool_map(lambda x: x, [1], size=1)
+
+    def test_matches_static_map(self):
+        items = list(range(31))
+        fn = lambda x: x**2 - x  # noqa: E731
+        assert pool_map(fn, items, size=5) == static_map(fn, items, size=5)
+
+    def test_task_exception_propagates(self):
+        def boom(x):
+            if x == 7:
+                raise ValueError("bad item")
+            return x
+
+        with pytest.raises(MPIError, match="bad item"):
+            pool_map(boom, list(range(10)), size=3)

@@ -1,0 +1,124 @@
+"""Tests for nonblocking isend/irecv and Request semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError
+from repro.simmpi import run_spmd
+
+
+class TestIsendIrecv:
+    def test_mpi4py_tutorial_pattern(self):
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend({"a": 7, "b": 3.14}, dest=1, tag=11)
+                req.wait()
+                return None
+            req = comm.irecv(source=0, tag=11)
+            return req.wait()
+
+        result = run_spmd(fn, 2)
+        assert result.results[1] == {"a": 7, "b": 3.14}
+
+    def test_wait_idempotent(self):
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend("x", dest=1)
+                assert req.wait() is None
+                assert req.wait() is None
+                assert req.completed
+                return None
+            req = comm.irecv(source=0)
+            first = req.wait()
+            second = req.wait()
+            return (first, second)
+
+        result = run_spmd(fn, 2)
+        assert result.results[1] == ("x", "x")
+
+    def test_isend_to_self_rejected(self):
+        def fn(comm):
+            comm.isend(1, dest=comm.rank)
+
+        with pytest.raises(MPIError):
+            run_spmd(fn, 2)
+
+    def test_test_polls_without_blocking(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.barrier()
+                comm.isend(42, dest=1).wait()
+                comm.barrier()
+                return None
+            req = comm.irecv(source=0)
+            done, _ = req.test()  # nothing sent yet
+            assert not done
+            comm.barrier()
+            comm.barrier()  # sender has definitely posted by now
+            done, value = req.test()
+            assert done and value == 42
+            return value
+
+        result = run_spmd(fn, 2)
+        assert result.results[1] == 42
+
+    def test_multiple_outstanding_requests_ordered(self):
+        def fn(comm):
+            if comm.rank == 0:
+                reqs = [comm.isend(i, dest=1, tag=i) for i in range(5)]
+                for req in reqs:
+                    req.wait()
+                return None
+            # receive in reverse tag order: matching is by tag
+            return [comm.irecv(source=0, tag=t).wait() for t in (4, 3, 2, 1, 0)]
+
+        result = run_spmd(fn, 2)
+        assert result.results[1] == [4, 3, 2, 1, 0]
+
+    def test_overlap_charges_less_than_blocking(self):
+        """isend + compute + wait overlaps wire time with the compute;
+        a blocking send serialises them."""
+        payload = np.zeros(2**22)  # 32 MB: several ms of wire time
+        compute = 0.05
+
+        def overlapped(comm):
+            if comm.rank == 0:
+                req = comm.isend(payload, dest=1)
+                comm.clock.advance(compute, phase="compute")
+                req.wait()
+                return comm.clock.now
+            comm.recv(source=0)
+            return None
+
+        def blocking(comm):
+            if comm.rank == 0:
+                comm.send(payload, dest=1)
+                comm.clock.advance(compute, phase="compute")
+                return comm.clock.now
+            comm.recv(source=0)
+            return None
+
+        t_overlap = run_spmd(overlapped, 2).results[0]
+        t_block = run_spmd(blocking, 2).results[0]
+        assert t_overlap < t_block
+
+    def test_numpy_payload(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.isend(np.arange(100.0), dest=1).wait()
+                return None
+            return comm.irecv(source=0).wait()
+
+        result = run_spmd(fn, 2)
+        np.testing.assert_array_equal(result.results[1], np.arange(100.0))
+
+    def test_trace_records_isend(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.isend(b"abc", dest=1).wait()
+            else:
+                comm.recv(source=0)
+
+        result = run_spmd(fn, 2)
+        ops = [op for op, _, _ in result.tracers[0].schedule()]
+        assert "isend" in ops

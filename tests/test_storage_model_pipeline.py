@@ -1,0 +1,111 @@
+"""Remaining coverage: the storage cost-model helpers and composing the
+Algorithm-3 pipeline from the generic Pipeline stages."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import cori_haswell
+from repro.core.interferometry import InterferometryConfig, interferometry_block
+from repro.core.pipeline import Pipeline
+from repro.daslib import abscorr, detrend, fft, filtfilt, next_fast_len, resample, taper
+from repro.storage.model import (
+    ReadCost,
+    files_per_rank,
+    model_collective_per_file,
+    model_communication_avoiding,
+    model_rca_read,
+    model_search,
+)
+
+
+class TestReadCost:
+    def test_total_is_read_plus_comm(self):
+        cost = ReadCost(read_time=2.0, comm_time=0.5, n_requests=10)
+        assert cost.total == pytest.approx(2.5)
+
+    def test_scaling_in_file_count(self):
+        cluster = cori_haswell(16)
+        small = model_collective_per_file(cluster, 16, 100, 10**6)
+        large = model_collective_per_file(cluster, 16, 400, 10**6)
+        assert large.total == pytest.approx(4 * small.total, rel=1e-6)
+
+    def test_commavoid_improves_with_ranks(self):
+        cluster = cori_haswell(256)
+        few = model_communication_avoiding(cluster, 16, 512, 10**7)
+        many = model_communication_avoiding(cluster, 128, 512, 10**7)
+        assert many.total < few.total
+
+    def test_commavoid_floor_is_ost_bound(self):
+        """Beyond a point, more ranks cannot beat the OST service floor."""
+        cluster = cori_haswell(2880)
+        t1 = model_communication_avoiding(cluster, 720, 2880, 10**8).total
+        t2 = model_communication_avoiding(cluster, 2880, 2880, 10**8).total
+        assert t2 <= t1
+        assert t2 > 0.5 * t1  # diminishing returns
+
+    def test_rca_read_scales_with_stripes_not_ranks(self):
+        cluster = cori_haswell(512)
+        t_small_p = model_rca_read(cluster, 16, 10**12).total
+        t_large_p = model_rca_read(cluster, 512, 10**12).total
+        # stripe-bound: adding ranks barely helps
+        assert t_large_p > 0.5 * t_small_p
+
+    def test_model_search_linear(self):
+        cluster = cori_haswell()
+        assert model_search(cluster, 2000) == pytest.approx(
+            2 * model_search(cluster, 1000)
+        )
+
+    def test_files_per_rank_sums(self):
+        for n, p in ((2880, 90), (7, 3), (5, 8)):
+            assert sum(files_per_rank(n, p, r) for r in range(p)) == n
+
+
+class TestAlgorithm3AsPipeline:
+    """Algorithm 3 expressed through the generic Pipeline abstraction
+    gives the same answer as the fused kernel — the composability the
+    UDF interface promises."""
+
+    def test_staged_equals_kernel(self):
+        config = InterferometryConfig(fs=100.0, band=(0.5, 10.0), resample_q=4)
+        b, a = config.coefficients()
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(5, 800))
+
+        nfft = next_fast_len(200)
+
+        def correlate_with_master(spectra):
+            return np.asarray(abscorr(spectra, spectra[config.master_channel][None, :], axis=-1))
+
+        pipeline = (
+            Pipeline()
+            .add("detrend", lambda x: detrend(x, axis=-1))
+            .add("taper", lambda x: taper(x, config.taper_fraction, axis=-1))
+            .add("filtfilt", lambda x: filtfilt(b, a, x, axis=-1))
+            .add("resample", lambda x: resample(x, 1, config.resample_q, axis=-1))
+            .add("fft", lambda x: fft(x, n=nfft, axis=-1))
+            .add("correlate", correlate_with_master)
+        )
+        staged = pipeline.run(data)
+        kernel = interferometry_block(data, config)
+        np.testing.assert_allclose(staged, kernel, atol=1e-9)
+
+    def test_fused_pipeline_equals_staged(self):
+        config = InterferometryConfig(fs=100.0, band=(0.5, 10.0), resample_q=4)
+        b, a = config.coefficients()
+        data = np.random.default_rng(1).normal(size=(3, 600))
+        pipeline = (
+            Pipeline()
+            .add("detrend", lambda x: detrend(x, axis=-1))
+            .add("filter", lambda x: filtfilt(b, a, x, axis=-1))
+        )
+        np.testing.assert_allclose(pipeline.fused()(data), pipeline.run(data))
+
+    def test_stage_timing_accounts_everything(self):
+        from repro.utils.timer import Timer
+
+        timer = Timer()
+        pipeline = Pipeline().add("a", lambda x: x + 1).add("b", lambda x: x * 2)
+        pipeline.run(np.zeros(10), timer=timer)
+        assert set(timer.phases) == {"a", "b"}
+        assert timer.total >= 0.0

@@ -1,0 +1,80 @@
+"""Property-based tests for storage invariants: VCA reads always equal
+the numpy concatenation, for random file shapes and selections."""
+
+import os
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.dasfile import write_das_file
+from repro.storage.metadata import DASMetadata, timestamp_add_seconds
+from repro.storage.parallel_read import channel_block
+from repro.storage.vca import create_vca, open_vca
+
+
+@st.composite
+def vca_cases(draw):
+    n_files = draw(st.integers(1, 5))
+    channels = draw(st.integers(1, 12))
+    lengths = [draw(st.integers(1, 30)) for _ in range(n_files)]
+    seed = draw(st.integers(0, 2**31 - 1))
+    return n_files, channels, lengths, seed
+
+
+@settings(max_examples=30, deadline=None)
+@given(vca_cases(), st.data())
+def test_vca_read_equals_concatenation(tmp_path_factory, case, data):
+    n_files, channels, lengths, seed = case
+    rng = np.random.default_rng(seed)
+    root = tmp_path_factory.mktemp("vca-prop")
+    stamp = "170620100545"
+    blocks = []
+    paths = []
+    for length in lengths:
+        block = rng.normal(size=(channels, length)).astype(np.float32)
+        path = os.path.join(str(root), f"f_{stamp}.h5")
+        write_das_file(
+            path,
+            block,
+            DASMetadata(
+                sampling_frequency=100.0, timestamp=stamp, n_channels=channels
+            ),
+            channel_groups=False,
+        )
+        blocks.append(block)
+        paths.append(path)
+        stamp = timestamp_add_seconds(stamp, 60)
+    full = np.concatenate(blocks, axis=1)
+
+    vca_path = create_vca(os.path.join(str(root), "v.h5"), paths)
+    with open_vca(vca_path) as vca:
+        assert vca.shape == full.shape
+        # Full read
+        np.testing.assert_array_equal(vca.dataset.read(), full)
+        # Random rectangular selection
+        total = full.shape[1]
+        c0 = data.draw(st.integers(0, channels - 1))
+        c1 = data.draw(st.integers(c0 + 1, channels))
+        t0 = data.draw(st.integers(0, total - 1))
+        t1 = data.draw(st.integers(t0 + 1, total))
+        step = data.draw(st.integers(1, 3))
+        np.testing.assert_array_equal(
+            vca.dataset[c0:c1, t0:t1:step], full[c0:c1, t0:t1:step]
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 200), st.integers(1, 64))
+def test_channel_block_partition_properties(n_channels, size):
+    """Blocks are contiguous, ordered, disjoint, cover everything, and
+    differ in size by at most one."""
+    blocks = [channel_block(n_channels, size, r) for r in range(size)]
+    assert blocks[0][0] == 0
+    assert blocks[-1][1] == n_channels
+    for (a, b), (c, d) in zip(blocks, blocks[1:]):
+        assert b == c
+        assert a <= b and c <= d
+    sizes = [hi - lo for lo, hi in blocks]
+    assert max(sizes) - min(sizes) <= 1
+    assert sum(sizes) == n_channels

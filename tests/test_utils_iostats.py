@@ -1,0 +1,97 @@
+"""Tests for repro.utils.iostats."""
+
+import threading
+
+from repro.utils.iostats import IOStats
+
+
+class TestIOStats:
+    def test_initial_state(self):
+        s = IOStats()
+        assert s.opens == 0
+        assert s.requests == 0
+        assert s.bytes_read == 0
+
+    def test_record_read(self):
+        s = IOStats()
+        s.record_read(100)
+        s.record_read(50)
+        assert s.reads == 2
+        assert s.bytes_read == 150
+
+    def test_record_write(self):
+        s = IOStats()
+        s.record_write(64)
+        assert s.writes == 1
+        assert s.bytes_written == 64
+
+    def test_requests_is_reads_plus_writes(self):
+        s = IOStats()
+        s.record_read(1)
+        s.record_write(1)
+        s.record_write(1)
+        assert s.requests == 3
+
+    def test_open_close_seek(self):
+        s = IOStats()
+        s.record_open()
+        s.record_seek()
+        s.record_close()
+        assert (s.opens, s.seeks, s.closes) == (1, 1, 1)
+
+    def test_merge(self):
+        a = IOStats()
+        a.record_read(10)
+        b = IOStats()
+        b.record_read(5)
+        b.record_open()
+        a.merge(b)
+        assert a.reads == 2
+        assert a.bytes_read == 15
+        assert a.opens == 1
+
+    def test_reset(self):
+        s = IOStats()
+        s.record_read(10)
+        s.record_open()
+        s.reset()
+        assert s.snapshot() == {
+            "opens": 0,
+            "closes": 0,
+            "seeks": 0,
+            "reads": 0,
+            "writes": 0,
+            "bytes_read": 0,
+            "bytes_written": 0,
+        }
+
+    def test_snapshot_keys(self):
+        snap = IOStats().snapshot()
+        assert set(snap) == {
+            "opens",
+            "closes",
+            "seeks",
+            "reads",
+            "writes",
+            "bytes_read",
+            "bytes_written",
+        }
+
+    def test_thread_safety(self):
+        s = IOStats()
+        n = 200
+
+        def worker():
+            for _ in range(n):
+                s.record_read(1)
+                s.record_write(2)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert s.reads == 8 * n
+        assert s.writes == 8 * n
+        assert s.bytes_read == 8 * n
+        assert s.bytes_written == 16 * n

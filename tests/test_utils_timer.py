@@ -1,0 +1,77 @@
+"""Tests for repro.utils.timer."""
+
+import pytest
+
+from repro.utils.timer import Timer, VirtualTimer, timed
+
+
+class TestTimer:
+    def test_phase_accumulates(self):
+        t = Timer()
+        with t.phase("read"):
+            pass
+        with t.phase("read"):
+            pass
+        assert t.phases["read"] >= 0.0
+        assert set(t.phases) == {"read"}
+
+    def test_total_sums_phases(self):
+        t = Timer()
+        t.phases = {"a": 1.0, "b": 2.0}
+        assert t.total == pytest.approx(3.0)
+
+    def test_merge(self):
+        a = Timer()
+        a.phases = {"read": 1.0, "compute": 2.0}
+        b = Timer()
+        b.phases = {"read": 0.5, "write": 0.25}
+        a.merge(b)
+        assert a.phases == {"read": 1.5, "compute": 2.0, "write": 0.25}
+
+    def test_phase_records_on_exception(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            with t.phase("boom"):
+                raise RuntimeError("x")
+        assert "boom" in t.phases
+
+
+class TestVirtualTimer:
+    def test_starts_at_zero(self):
+        assert VirtualTimer().now == 0.0
+
+    def test_advance(self):
+        clock = VirtualTimer()
+        clock.advance(1.5, phase="io")
+        assert clock.now == pytest.approx(1.5)
+        assert clock.phases["io"] == pytest.approx(1.5)
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualTimer().advance(-1.0)
+
+    def test_synchronize_forward_only(self):
+        clock = VirtualTimer()
+        clock.advance(2.0)
+        clock.synchronize(5.0)
+        assert clock.now == pytest.approx(5.0)
+        clock.synchronize(1.0)  # never goes backwards
+        assert clock.now == pytest.approx(5.0)
+
+    def test_synchronize_does_not_charge_phase(self):
+        clock = VirtualTimer()
+        clock.synchronize(10.0)
+        assert clock.phases == {}
+
+    def test_phase_accumulation(self):
+        clock = VirtualTimer()
+        clock.advance(1.0, "io")
+        clock.advance(2.0, "io")
+        clock.advance(3.0, "compute")
+        assert clock.phases == {"io": pytest.approx(3.0), "compute": pytest.approx(3.0)}
+
+
+def test_timed_context():
+    with timed() as elapsed:
+        pass
+    assert elapsed[0] >= 0.0

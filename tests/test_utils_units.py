@@ -1,0 +1,109 @@
+"""Tests for repro.utils.units."""
+
+import pytest
+
+from repro.utils.units import (
+    GIB,
+    KIB,
+    MIB,
+    TIB,
+    format_bytes,
+    format_count,
+    format_seconds,
+    parse_bytes,
+)
+
+
+class TestParseBytes:
+    def test_plain_int(self):
+        assert parse_bytes(4096) == 4096
+
+    def test_float(self):
+        assert parse_bytes(1.5) == 1
+
+    def test_bare_number_string(self):
+        assert parse_bytes("123") == 123
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1KB", KIB),
+            ("1kib", KIB),
+            ("2MB", 2 * MIB),
+            ("3GiB", 3 * GIB),
+            ("1.9TB", int(1.9 * TIB)),
+            ("700 MB", 700 * MIB),
+            ("171MB", 171 * MIB),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bytes(-1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bytes("lots of data")
+
+    def test_unknown_suffix_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bytes("12parsecs")
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert format_bytes(2048) == "2.00 KiB"
+
+    def test_gib(self):
+        assert format_bytes(1.5 * GIB) == "1.50 GiB"
+
+    def test_tib(self):
+        assert format_bytes(1.9 * TIB) == "1.90 TiB"
+
+    def test_negative(self):
+        assert format_bytes(-2048) == "-2.00 KiB"
+
+    def test_roundtrip_order_of_magnitude(self):
+        # formatted value parses back to within 1% of the original
+        original = int(3.7 * GIB)
+        reparsed = parse_bytes(format_bytes(original).replace(" ", ""))
+        assert abs(reparsed - original) / original < 0.01
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert format_seconds(5e-6) == "5.0 us"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.0021) == "2.10 ms"
+
+    def test_seconds(self):
+        assert format_seconds(12.5) == "12.500 s"
+
+    def test_minutes(self):
+        assert format_seconds(600) == "10.00 min"
+
+    def test_hours(self):
+        assert format_seconds(9978) == "2.77 h"
+
+    def test_negative(self):
+        assert format_seconds(-12.5) == "-12.500 s"
+
+
+class TestFormatCount:
+    def test_small(self):
+        assert format_count(42) == "42"
+
+    def test_thousands(self):
+        assert format_count(11648) == "11.6K"
+
+    def test_millions(self):
+        assert format_count(2_500_000) == "2.5M"
+
+    def test_billions(self):
+        assert format_count(3_000_000_000) == "3.0G"
