@@ -1,0 +1,239 @@
+"""Cache/pool benchmark for the Fig. 7 VCA read path.
+
+Measures what the hdf5lite read-side cache layer buys on the repo's
+hottest path: repeated reads of a day's recording through a VCA.  Three
+configurations of the *same* read sequence are run:
+
+* **uncached** — seed behaviour: every pass re-opens the VCA and all of
+  its per-minute source files and issues one backend request per source.
+* **budget-0** — cache object present but disabled; must reproduce the
+  uncached backend counts byte-for-byte (the safety knob).
+* **cached** — a shared :class:`BlockCache` + :class:`FilePool`: files
+  open once, pages/chunks load once, every further pass is memory copies.
+
+Also runs the simmpi Fig. 7 communication-avoiding reader with and
+without the pool to show the effect under the parallel readers.
+
+Counts come from :class:`repro.utils.iostats.IOStats`; results (counters,
+wall times, and the asserted cached < uncached deltas) are written as
+JSON (``BENCH_cache.json`` at the repo root by default).
+
+Usage::
+
+    python benchmarks/bench_cache.py --smoke     # small sizes, CI-friendly
+    python benchmarks/bench_cache.py             # default sizes
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.hdf5lite import BlockCache, CacheConfig, FilePool  # noqa: E402
+from repro.simmpi import run_spmd  # noqa: E402
+from repro.storage.dasfile import das_filename, write_das_file  # noqa: E402
+from repro.storage.metadata import DASMetadata, timestamp_add_seconds  # noqa: E402
+from repro.storage.parallel_read import (  # noqa: E402
+    read_vca_communication_avoiding,
+)
+from repro.storage.vca import VCAHandle, create_vca  # noqa: E402
+from repro.utils.iostats import IOStats  # noqa: E402
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+
+def build_dataset(root: str, n_files: int, channels: int, spm: int) -> str:
+    """Write ``n_files`` per-minute DAS files; returns a VCA over them."""
+    rng = np.random.default_rng(7)
+    stamp = "170620100545"
+    paths = []
+    for _ in range(n_files):
+        data = rng.normal(size=(channels, spm)).astype(np.float32)
+        path = os.path.join(root, das_filename(stamp))
+        write_das_file(
+            path,
+            data,
+            DASMetadata(
+                sampling_frequency=10.0,
+                spatial_resolution=2.0,
+                timestamp=stamp,
+                n_channels=channels,
+            ),
+            channel_groups=False,
+        )
+        paths.append(path)
+        stamp = timestamp_add_seconds(stamp, 60)
+    return create_vca(os.path.join(root, "day.h5"), paths)
+
+
+def run_serial(
+    vca_path: str,
+    repeats: int,
+    pool: FilePool | None,
+    cache: object,
+    stats: IOStats,
+) -> tuple[float, np.ndarray]:
+    """``repeats`` full passes over the VCA; returns (wall_s, last array)."""
+    t0 = time.perf_counter()
+    arr = None
+    for _ in range(repeats):
+        with VCAHandle(vca_path, iostats=stats, pool=pool, cache=cache) as vca:
+            arr = vca.dataset.read()
+    return time.perf_counter() - t0, arr
+
+
+def run_spmd_reader(
+    vca_path: str, ranks: int, pool: FilePool | None, stats: IOStats
+) -> tuple[float, np.ndarray]:
+    def fn(comm):
+        return read_vca_communication_avoiding(
+            comm, vca_path, pool=pool, iostats=stats
+        )
+
+    t0 = time.perf_counter()
+    result = run_spmd(fn, ranks)
+    wall = time.perf_counter() - t0
+    return wall, np.concatenate(result.results, axis=0)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true", help="small sizes for CI")
+    ap.add_argument("--files", type=int, default=None)
+    ap.add_argument("--channels", type=int, default=None)
+    ap.add_argument("--spm", type=int, default=None, help="samples per minute-file")
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--ranks", type=int, default=4)
+    ap.add_argument(
+        "--budget", type=int, default=64 * 2**20, help="cache byte budget"
+    )
+    ap.add_argument(
+        "--out",
+        default=os.path.join(REPO_ROOT, "BENCH_cache.json"),
+        help="where to write the JSON results",
+    )
+    args = ap.parse_args()
+
+    if args.smoke:
+        n_files = args.files or 16
+        channels = args.channels or 32
+        spm = args.spm or 300
+    else:
+        n_files = args.files or 48
+        channels = args.channels or 64
+        spm = args.spm or 600
+
+    results: dict[str, object] = {
+        "bench": "cache",
+        "params": {
+            "files": n_files,
+            "channels": channels,
+            "samples_per_file": spm,
+            "repeats": args.repeats,
+            "ranks": args.ranks,
+            "byte_budget": args.budget,
+        },
+    }
+
+    with tempfile.TemporaryDirectory(prefix="bench-cache-") as root:
+        vca_path = build_dataset(root, n_files, channels, spm)
+
+        # --- serial repeated VCA reads --------------------------------
+        un_stats = IOStats()
+        un_wall, un_arr = run_serial(vca_path, args.repeats, None, None, un_stats)
+
+        z_stats = IOStats()
+        z_wall, z_arr = run_serial(
+            vca_path, args.repeats, None, CacheConfig(byte_budget=0), z_stats
+        )
+
+        ca_stats = IOStats()
+        cache = BlockCache(CacheConfig(byte_budget=args.budget), iostats=ca_stats)
+        with FilePool(iostats=ca_stats, cache=cache) as pool:
+            ca_wall, ca_arr = run_serial(vca_path, args.repeats, pool, None, ca_stats)
+            pool_stats = {
+                "hits": pool.hits,
+                "misses": pool.misses,
+                "evictions": pool.evictions,
+            }
+
+        np.testing.assert_array_equal(un_arr, ca_arr)
+        np.testing.assert_array_equal(un_arr, z_arr)
+        un, z, ca = un_stats.snapshot(), z_stats.snapshot(), ca_stats.snapshot()
+
+        # budget-0 must reproduce the uncached backend traffic exactly.
+        assert z == un, f"budget-0 diverged from seed behaviour: {z} != {un}"
+        # The whole point: strictly fewer opens and backend read requests.
+        assert ca["opens"] < un["opens"], (ca["opens"], un["opens"])
+        assert ca["reads"] < un["reads"], (ca["reads"], un["reads"])
+
+        results["serial"] = {
+            "uncached": {**un, "wall_s": un_wall},
+            "budget0": {**z, "wall_s": z_wall},
+            "cached": {
+                **ca,
+                "wall_s": ca_wall,
+                "cache": cache.stats(),
+                "pool": pool_stats,
+                "cache_counters": ca_stats.cache_snapshot(),
+            },
+            "open_reduction": un["opens"] - ca["opens"],
+            "read_reduction": un["reads"] - ca["reads"],
+            "bytes_read_uncached": un["bytes_read"],
+            "bytes_read_cached": ca["bytes_read"],
+            "speedup_wall": un_wall / ca_wall if ca_wall > 0 else float("inf"),
+        }
+
+        # --- Fig. 7 communication-avoiding reader ---------------------
+        sp_un = IOStats()
+        sp_un_wall, sp_un_arr = run_spmd_reader(vca_path, args.ranks, None, sp_un)
+
+        sp_ca = IOStats()
+        sp_cache = BlockCache(CacheConfig(byte_budget=args.budget), iostats=sp_ca)
+        with FilePool(iostats=sp_ca, cache=sp_cache) as sp_pool:
+            sp_ca_wall, sp_ca_arr = run_spmd_reader(
+                vca_path, args.ranks, sp_pool, sp_ca
+            )
+
+        np.testing.assert_array_equal(sp_un_arr, sp_ca_arr)
+        spu, spc = sp_un.snapshot(), sp_ca.snapshot()
+        assert spc["opens"] < spu["opens"], (spc["opens"], spu["opens"])
+
+        results["spmd_comm_avoiding"] = {
+            "uncached": {**spu, "wall_s": sp_un_wall},
+            "cached": {**spc, "wall_s": sp_ca_wall},
+            "open_reduction": spu["opens"] - spc["opens"],
+            "read_reduction": spu["reads"] - spc["reads"],
+        }
+
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+
+    serial = results["serial"]
+    print(f"[bench_cache] wrote {args.out}")
+    print(
+        f"[bench_cache] serial x{args.repeats}: "
+        f"opens {serial['uncached']['opens']} -> {serial['cached']['opens']}, "
+        f"reads {serial['uncached']['reads']} -> {serial['cached']['reads']}, "
+        f"wall {serial['uncached']['wall_s']:.3f}s -> "
+        f"{serial['cached']['wall_s']:.3f}s"
+    )
+    spmd = results["spmd_comm_avoiding"]
+    print(
+        f"[bench_cache] spmd ranks={args.ranks}: "
+        f"opens {spmd['uncached']['opens']} -> {spmd['cached']['opens']}, "
+        f"reads {spmd['uncached']['reads']} -> {spmd['cached']['reads']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 test suite + the cache benchmark smoke run.
+#
+# The smoke run asserts the cached VCA read path issues strictly fewer
+# file opens and backend read requests than the uncached path, and that
+# a budget-0 cache reproduces uncached behaviour byte-for-byte; it
+# records its counters in BENCH_cache.json (the perf trajectory).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -x -q
+python benchmarks/bench_cache.py --smoke

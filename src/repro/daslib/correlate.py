@@ -15,23 +15,39 @@ from repro.daslib.fft import irfft, next_fast_len, rfft
 #: Tolerance below which a window is treated as all-zero (abscorr -> 0).
 _EPS = 1e-300
 
+#: Per-window dead-norm threshold: a window whose L2 norm is at or below
+#: this is treated as silence (abscorr -> 0).  The threshold applies to
+#: each norm individually, NOT to their product — the product of two
+#: tiny-but-live norms underflows far earlier than either norm does.
+_DEAD_NORM = 1e-290
+
 
 def abscorr(c1: np.ndarray, c2: np.ndarray, axis: int = -1) -> np.ndarray | float:
     """Absolute correlation ``|cos θ(c1, c2)|`` along ``axis``.
 
     Accepts real or complex inputs (complex for spectra); broadcasting
-    applies across the remaining axes.  Zero-norm windows yield 0.0
-    rather than NaN so noisy-but-dead channels don't poison detections.
+    applies across the remaining axes.  Windows with norm <= ``1e-290``
+    yield 0.0 rather than NaN so noisy-but-dead channels don't poison
+    detections.
     """
     c1 = np.asarray(c1)
     c2 = np.asarray(c2)
-    num = np.abs(np.sum(c1 * np.conj(c2), axis=axis))
-    # sqrt of each energy separately: sqrt(a*b) would underflow to zero
-    # for tiny-amplitude windows whose energies multiply below DBL_MIN.
-    denom = np.sqrt(np.sum(np.abs(c1) ** 2, axis=axis)) * np.sqrt(
-        np.sum(np.abs(c2) ** 2, axis=axis)
+    # Deadness is judged on the raw norms; the cosine itself is computed
+    # on peak-rescaled windows (|cos θ| is scale-invariant) so that
+    # tiny-amplitude windows don't lose precision to denormal squares.
+    n1 = np.sqrt(np.sum(np.abs(c1) ** 2, axis=axis))
+    n2 = np.sqrt(np.sum(np.abs(c2) ** 2, axis=axis))
+    alive = (n1 > _DEAD_NORM) & (n2 > _DEAD_NORM)
+    s1 = np.max(np.abs(c1), axis=axis, keepdims=True)
+    s2 = np.max(np.abs(c2), axis=axis, keepdims=True)
+    u1 = c1 / np.where(s1 > 0, s1, 1.0)
+    u2 = c2 / np.where(s2 > 0, s2, 1.0)
+    num = np.abs(np.sum(u1 * np.conj(u2), axis=axis))
+    denom = np.sqrt(np.sum(np.abs(u1) ** 2, axis=axis)) * np.sqrt(
+        np.sum(np.abs(u2) ** 2, axis=axis)
     )
-    out = np.where(denom > _EPS, num / np.where(denom > _EPS, denom, 1.0), 0.0)
+    safe = alive & (denom > _EPS)
+    out = np.where(safe, num / np.where(safe, denom, 1.0), 0.0)
     if out.ndim == 0:
         return float(out)
     return out

@@ -24,10 +24,12 @@ data region.
 """
 
 from repro.hdf5lite.attributes import Attributes
+from repro.hdf5lite.cache import BlockCache, CacheConfig, FilePool
 from repro.hdf5lite.dataset import Dataset
 from repro.hdf5lite.file import File, Group
 from repro.hdf5lite.hyperslab import (
     Hyperslab,
+    coalesce_runs,
     contiguous_runs,
     intersect,
     normalize_selection,
@@ -42,8 +44,12 @@ __all__ = [
     "Attributes",
     "Hyperslab",
     "VirtualSource",
+    "BlockCache",
+    "CacheConfig",
+    "FilePool",
     "normalize_selection",
     "selection_shape",
+    "coalesce_runs",
     "contiguous_runs",
     "intersect",
 ]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 from dataclasses import dataclass
 
 from repro.errors import FormatError
@@ -62,6 +63,10 @@ class FileBackend:
         self._fh = open(self.path, mode)
         self.iostats.record_open()
         self._pos = 0
+        # Positioned ops are seek+read/write pairs; handles shared via a
+        # FilePool are hit from several simmpi rank-threads at once, so
+        # each pair must be atomic.
+        self._io_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
     @property
@@ -88,46 +93,51 @@ class FileBackend:
 
     def read_at(self, offset: int, nbytes: int) -> bytes:
         """One positioned read == one I/O request."""
-        self._seek(offset)
-        data = self._fh.read(nbytes)
-        if len(data) != nbytes:
-            raise FormatError(
-                f"short read at offset {offset}: wanted {nbytes}, got {len(data)}"
-            )
-        self._pos = offset + nbytes
+        with self._io_lock:
+            self._seek(offset)
+            data = self._fh.read(nbytes)
+            if len(data) != nbytes:
+                raise FormatError(
+                    f"short read at offset {offset}: wanted {nbytes}, got {len(data)}"
+                )
+            self._pos = offset + nbytes
         self.iostats.record_read(nbytes)
         return data
 
     def readinto_at(self, offset: int, buffer: memoryview) -> None:
         """Positioned read directly into a writable buffer (no copy)."""
-        self._seek(offset)
-        got = self._fh.readinto(buffer)
-        if got != len(buffer):
-            raise FormatError(
-                f"short read at offset {offset}: wanted {len(buffer)}, got {got}"
-            )
-        self._pos = offset + len(buffer)
+        with self._io_lock:
+            self._seek(offset)
+            got = self._fh.readinto(buffer)
+            if got != len(buffer):
+                raise FormatError(
+                    f"short read at offset {offset}: wanted {len(buffer)}, got {got}"
+                )
+            self._pos = offset + len(buffer)
         self.iostats.record_read(len(buffer))
 
     def write_at(self, offset: int, data: bytes | memoryview) -> None:
-        self._seek(offset)
-        self._fh.write(data)
-        self._pos = offset + len(data)
+        with self._io_lock:
+            self._seek(offset)
+            self._fh.write(data)
+            self._pos = offset + len(data)
         self.iostats.record_write(len(data))
 
     def append(self, data: bytes | memoryview) -> int:
         """Append at end of file; returns the offset the data landed at."""
-        self._fh.seek(0, os.SEEK_END)
-        offset = self._fh.tell()
-        self._fh.write(data)
-        self._pos = offset + len(data)
+        with self._io_lock:
+            self._fh.seek(0, os.SEEK_END)
+            offset = self._fh.tell()
+            self._fh.write(data)
+            self._pos = offset + len(data)
         self.iostats.record_write(len(data))
         return offset
 
     def truncate(self, size: int) -> None:
-        self._fh.truncate(size)
-        if self._pos > size:
-            self._pos = size
+        with self._io_lock:
+            self._fh.truncate(size)
+            if self._pos > size:
+                self._pos = size
 
     def flush(self) -> None:
         self._fh.flush()

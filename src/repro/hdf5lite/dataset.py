@@ -19,6 +19,7 @@ from repro.hdf5lite import dtype as _dtype
 from repro.hdf5lite.attributes import Attributes
 from repro.hdf5lite.hyperslab import (
     Hyperslab,
+    coalesce_runs,
     contiguous_runs,
     intersect,
     normalize_selection,
@@ -27,6 +28,7 @@ from repro.hdf5lite.hyperslab import (
 from repro.hdf5lite.virtual import VirtualSource
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.hdf5lite.cache import BlockCache
     from repro.hdf5lite.file import File
 
 LAYOUT_CONTIGUOUS = "contiguous"
@@ -137,6 +139,9 @@ class Dataset:
         raise FormatError(f"unknown dataset layout {layout!r}")
 
     def _read_contiguous(self, hs: Hyperslab) -> np.ndarray:
+        cache = self._file._cache
+        if cache is not None and cache.enabled:
+            return self._read_contiguous_cached(hs, cache)
         base = int(self._meta["offset"])
         itemsize = self.itemsize
         out = np.empty(hs.size, dtype=self.dtype)
@@ -150,6 +155,71 @@ class Dataset:
                 view[cursor : cursor + nbytes],
             )
             cursor += nbytes
+        return out.reshape(hs.count)
+
+    def _page_read(
+        self,
+        cache: "BlockCache",
+        base: int,
+        region_nbytes: int,
+        rel_offset: int,
+        dest: memoryview,
+    ) -> None:
+        """Fill ``dest`` with dataset bytes ``[rel_offset, rel_offset+len)``
+        via the page cache.
+
+        Pages are ``page_size``-aligned within the dataset's own data
+        region (byte 0 = ``base`` in the file), so a page never straddles
+        the metadata footer or another dataset.  A missing page costs one
+        backend request for the whole page; hits cost nothing.
+        """
+        backend = self._file._backend
+        stats = backend.iostats
+        ps = cache.config.page_size
+        nbytes = len(dest)
+        first = rel_offset // ps
+        last = (rel_offset + nbytes - 1) // ps
+        for page in range(first, last + 1):
+            page_off = page * ps
+            page_len = min(ps, region_nbytes - page_off)
+            key = (self._file._cache_key, "page", base, page)
+            data = cache.get(key, stats)
+            if data is None:
+                buf = bytearray(page_len)
+                backend.readinto_at(base + page_off, memoryview(buf))
+                data = bytes(buf)
+                cache.put(key, data, stats)
+            lo = max(rel_offset, page_off)
+            hi = min(rel_offset + nbytes, page_off + page_len)
+            dest[lo - rel_offset : hi - rel_offset] = data[lo - page_off : hi - page_off]
+
+    def _read_contiguous_cached(self, hs: Hyperslab, cache: "BlockCache") -> np.ndarray:
+        base = int(self._meta["offset"])
+        itemsize = self.itemsize
+        region_nbytes = self.nbytes
+        out = np.empty(hs.size, dtype=self.dtype)
+        view = memoryview(out.view(np.uint8)).cast("B")
+        cursor = 0
+        gap_elems = cache.config.coalesce_gap // itemsize
+        for span_off, span_count, pieces in coalesce_runs(
+            contiguous_runs(hs, self.shape), gap_elems
+        ):
+            if len(pieces) == 1:
+                nbytes = span_count * itemsize
+                self._page_read(
+                    cache, base, region_nbytes, span_off * itemsize,
+                    view[cursor : cursor + nbytes],
+                )
+                cursor += nbytes
+                continue
+            # Gap-coalesced span: one cached fetch, then scatter the runs.
+            scratch = memoryview(bytearray(span_count * itemsize))
+            self._page_read(cache, base, region_nbytes, span_off * itemsize, scratch)
+            for elem_offset, elem_count in pieces:
+                nbytes = elem_count * itemsize
+                rel = (elem_offset - span_off) * itemsize
+                view[cursor : cursor + nbytes] = scratch[rel : rel + nbytes]
+                cursor += nbytes
         return out.reshape(hs.count)
 
     def _read_chunked(self, hs: Hyperslab) -> np.ndarray:
@@ -174,6 +244,9 @@ class Dataset:
         index: dict[str, int] = self._meta["chunk_index"]
         itemsize = self.itemsize
         backend = self._file._backend
+        cache = self._file._cache
+        if cache is not None and not cache.enabled:
+            cache = None
 
         lo = [s // c for s, c in zip(hs.start, chunks)]
         hi = [
@@ -203,21 +276,46 @@ class Dataset:
                     count=overlap.count,
                     stride=tuple(1 for _ in chunks),
                 )
-                piece = np.empty(local.size, dtype=self.dtype)
-                view = memoryview(piece.view(np.uint8)).cast("B")
-                cursor = 0
-                for elem_offset, elem_count in contiguous_runs(local, chunk_count):
-                    nbytes = elem_count * itemsize
-                    backend.readinto_at(
-                        chunk_offset + elem_offset * itemsize,
-                        view[cursor : cursor + nbytes],
-                    )
-                    cursor += nbytes
+                chunk_nbytes = (
+                    int(np.prod(chunk_count, dtype=np.int64)) * itemsize
+                )
                 dest = tuple(
                     slice(o - s, o - s + n)
                     for o, s, n in zip(overlap.start, hs.start, overlap.count)
                 )
-                out[dest] = piece.reshape(local.count)
+                if cache is not None and chunk_nbytes <= cache.config.byte_budget:
+                    # Chunk-granular caching: a miss loads the whole chunk in
+                    # one request (run-coalescing for free); later touches of
+                    # any part of the chunk are memory copies.
+                    key = (self._file._cache_key, "chunk", chunk_offset)
+                    raw = cache.get(key, backend.iostats)
+                    if raw is None:
+                        buf = bytearray(chunk_nbytes)
+                        backend.readinto_at(chunk_offset, memoryview(buf))
+                        raw = bytes(buf)
+                        cache.put(key, raw, backend.iostats)
+                    chunk_arr = np.frombuffer(raw, dtype=self.dtype).reshape(
+                        chunk_count
+                    )
+                    local_sel = tuple(
+                        slice(s, s + n)
+                        for s, n in zip(local.start, local.count)
+                    )
+                    out[dest] = chunk_arr[local_sel]
+                else:
+                    piece = np.empty(local.size, dtype=self.dtype)
+                    view = memoryview(piece.view(np.uint8)).cast("B")
+                    cursor = 0
+                    for elem_offset, elem_count in contiguous_runs(
+                        local, chunk_count
+                    ):
+                        nbytes = elem_count * itemsize
+                        backend.readinto_at(
+                            chunk_offset + elem_offset * itemsize,
+                            view[cursor : cursor + nbytes],
+                        )
+                        cursor += nbytes
+                    out[dest] = piece.reshape(local.count)
             # Odometer over chunk grid coordinates.
             dim_idx = len(coord) - 1
             while dim_idx >= 0:
@@ -298,6 +396,7 @@ class Dataset:
                 view[cursor : cursor + nbytes],
             )
             cursor += nbytes
+        self._file._invalidate_cache()
 
     # -- streaming ---------------------------------------------------------------
     def iter_blocks(self, rows_per_block: int):

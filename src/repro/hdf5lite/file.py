@@ -25,6 +25,13 @@ from repro.errors import FormatError
 from repro.hdf5lite import dtype as _dtype
 from repro.hdf5lite.attributes import Attributes
 from repro.hdf5lite.binary import FORMAT_VERSION, HEADER_SIZE, FileBackend, Header
+from repro.hdf5lite.cache import (
+    BlockCache,
+    CacheConfig,
+    FilePool,
+    normalize_file_key,
+    resolve_cache,
+)
 from repro.hdf5lite.dataset import (
     LAYOUT_CHUNKED,
     LAYOUT_CONTIGUOUS,
@@ -273,7 +280,19 @@ class File(Group):
         path: str | os.PathLike,
         mode: str = "r",
         iostats: IOStats | None = None,
+        cache: BlockCache | CacheConfig | None = None,
+        pool: FilePool | None = None,
     ):
+        """Open a file.
+
+        ``cache`` — an optional read-side block cache (see
+        :mod:`repro.hdf5lite.cache`): a shared :class:`BlockCache`, a
+        :class:`CacheConfig` (a private cache is built), or ``None`` /
+        budget-0 config for the exact uncached behaviour.
+        ``pool`` — an optional :class:`FilePool`; when given, virtual-source
+        files are acquired from the pool (shared, kept open) instead of
+        being opened privately by this handle.
+        """
         path = os.fspath(path)
         if mode == "a":
             mode = "r+" if os.path.exists(path) else "w"
@@ -284,6 +303,12 @@ class File(Group):
         self.writable = mode != "r"
         self._dirty = False
         self._source_cache: dict[str, File] = {}
+        self._cache = resolve_cache(cache)
+        self._pool = pool
+        self._cache_key = normalize_file_key(path)
+        if self._cache is not None and mode == "w":
+            # Truncating invalidates anything a shared cache knew about us.
+            self._cache.invalidate_file(self._cache_key)
 
         if mode == "w":
             self._backend = FileBackend(path, "w+b", iostats)
@@ -317,20 +342,36 @@ class File(Group):
         self._backend.write_at(offset, payload)
         self._data_end = offset + len(payload)
         self._dirty = True
+        self._invalidate_cache()
         return offset
+
+    def _invalidate_cache(self) -> None:
+        """Drop this file's cached blocks after any mutation."""
+        if self._cache is not None:
+            self._cache.invalidate_file(self._cache_key)
 
     def _dataset_for(self, path: str, meta: dict[str, Any]) -> Dataset:
         return Dataset(self, path, meta)
 
     def _resolve_source(self, source_path: str) -> "File":
-        """Open (and cache) a source file referenced by a virtual dataset."""
+        """Open (and cache) a source file referenced by a virtual dataset.
+
+        With a :class:`FilePool` attached, handles come from (and belong
+        to) the pool — shared across every file using that pool, never
+        re-opened per read.  Otherwise this handle keeps its own private
+        source handles, closed together with it.
+        """
         if not os.path.isabs(source_path):
             source_path = os.path.join(os.path.dirname(self.filename), source_path)
         source_path = os.path.normpath(source_path)
+        if self._pool is not None:
+            return self._pool.acquire(source_path, iostats=self._backend.iostats)
         cached = self._source_cache.get(source_path)
         if cached is not None and not cached._backend.closed:
             return cached
-        src = File(source_path, "r", iostats=self._backend.iostats)
+        src = File(
+            source_path, "r", iostats=self._backend.iostats, cache=self._cache
+        )
         self._source_cache[source_path] = src
         return src
 
@@ -345,6 +386,17 @@ class File(Group):
     @property
     def iostats(self) -> IOStats:
         return self._backend.iostats
+
+    @property
+    def cache(self) -> BlockCache | None:
+        return self._cache
+
+    def set_iostats(self, iostats: IOStats) -> None:
+        """Re-point I/O accounting at ``iostats`` (pooled-handle reuse)."""
+        self._backend.iostats = iostats
+        for src in self._source_cache.values():
+            if not src.closed:
+                src.set_iostats(iostats)
 
     def flush(self) -> None:
         """Write the metadata footer and header if anything changed."""

@@ -234,6 +234,45 @@ def contiguous_runs(
     yield from emit_runs()
 
 
+def coalesce_runs(
+    runs: Sequence[tuple[int, int]] | Iterator[tuple[int, int]],
+    max_gap: int = 0,
+) -> list[tuple[int, int, list[tuple[int, int]]]]:
+    """Merge element runs separated by at most ``max_gap`` elements.
+
+    ``runs`` are ``(element_offset, element_count)`` pairs as produced by
+    :func:`contiguous_runs` (file order within each row-major sweep).  Runs
+    whose inter-run gap is ``<= max_gap`` are merged into one *span* — a
+    single backend request that reads the gap bytes too and discards them;
+    this trades a little bandwidth for far fewer IOPS, which is exactly the
+    exchange the paper's storage model says wins on a disk file system.
+
+    Returns ``[(span_offset, span_count, pieces), ...]`` where ``pieces``
+    are the original runs covered by the span.  Runs that move backwards
+    (or overlap a prior span) start a new span, so the result is always a
+    valid request sequence regardless of input order.
+    """
+    if max_gap < 0:
+        raise SelectionError(f"max_gap must be >= 0, got {max_gap}")
+    spans: list[tuple[int, int, list[tuple[int, int]]]] = []
+    cur_off = -1
+    cur_len = 0
+    cur_pieces: list[tuple[int, int]] = []
+    for offset, count in runs:
+        if count <= 0:
+            continue
+        if cur_pieces and cur_off + cur_len <= offset <= cur_off + cur_len + max_gap:
+            cur_len = offset + count - cur_off
+            cur_pieces.append((offset, count))
+        else:
+            if cur_pieces:
+                spans.append((cur_off, cur_len, cur_pieces))
+            cur_off, cur_len, cur_pieces = offset, count, [(offset, count)]
+    if cur_pieces:
+        spans.append((cur_off, cur_len, cur_pieces))
+    return spans
+
+
 def intersect(a: Hyperslab, b: Hyperslab) -> Hyperslab | None:
     """Intersect two unit-stride hyperslabs; ``None`` if disjoint.
 

@@ -41,6 +41,23 @@ class VirtualSource:
     def ndim(self) -> int:
         return len(self.count)
 
+    @property
+    def size(self) -> int:
+        """Number of elements in the mapped region."""
+        n = 1
+        for c in self.count:
+            n *= c
+        return n
+
+    def nbytes(self, itemsize: int) -> int:
+        """Bytes of the mapped region for elements of ``itemsize`` bytes.
+
+        The I/O charge of reading this source whole — used by the parallel
+        readers so accounting follows the dataset's actual dtype instead of
+        assuming float32.
+        """
+        return self.size * int(itemsize)
+
     def dst_slab(self) -> Hyperslab:
         """The destination region as a unit-stride hyperslab."""
         return Hyperslab(

@@ -19,7 +19,7 @@ Components:
 """
 
 from repro.storage.dasfile import DASFile, read_das_file, write_das_file
-from repro.storage.lav import LAV
+from repro.storage.lav import LAV, open_lav
 from repro.storage.metadata import (
     DASMetadata,
     format_timestamp,
@@ -50,6 +50,7 @@ __all__ = [
     "open_vca",
     "create_rca",
     "LAV",
+    "open_lav",
     "read_vca_collective_per_file",
     "read_vca_communication_avoiding",
     "read_rca_direct",

@@ -8,11 +8,15 @@ selection needs.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.errors import SelectionError
+from repro.hdf5lite.cache import FilePool
 from repro.hdf5lite.dataset import Dataset
 from repro.hdf5lite.hyperslab import Hyperslab, normalize_selection, selection_shape
+from repro.utils.iostats import IOStats
 
 
 class LAV:
@@ -87,6 +91,25 @@ class LAV:
             f"<LAV shape={self.shape} of {self._dataset.path!r} "
             f"start={self._slab.start} stride={self._slab.stride}>"
         )
+
+
+def open_lav(
+    pool: FilePool,
+    path: str | os.PathLike,
+    dataset: str,
+    channels: slice | None = None,
+    times: slice | None = None,
+    iostats: IOStats | None = None,
+) -> LAV:
+    """A LAV over ``dataset`` in ``path``, opened through a file pool.
+
+    The pool owns the underlying handle (and its block cache), so building
+    many views over the same file — the "subset of interested channels"
+    workflow — opens it once instead of once per view, and their reads
+    share cached blocks.
+    """
+    file = pool.acquire(path, iostats=iostats)
+    return LAV(file.dataset(dataset), channels=channels, times=times)
 
 
 def _compose(outer: Hyperslab, inner: Hyperslab) -> Hyperslab:

@@ -15,7 +15,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import StorageError
-from repro.hdf5lite import File, VirtualSource
+from repro.hdf5lite import File, FilePool, VirtualSource
 from repro.storage.dasfile import DATASET_NAME, read_das_metadata
 from repro.storage.metadata import DASMetadata
 from repro.storage.search import DASFileInfo
@@ -136,11 +136,30 @@ def create_vca(
 
 
 class VCAHandle:
-    """An open VCA with its merged metadata."""
+    """An open VCA with its merged metadata.
 
-    def __init__(self, path: str | os.PathLike, iostats: IOStats | None = None):
+    ``pool`` — an optional :class:`repro.hdf5lite.FilePool`.  When given,
+    both the VCA file itself and its per-minute source files are acquired
+    from (and owned by) the pool, so repeated opens of the same VCA and
+    repeated reads across handles stop re-opening files.  ``cache`` — an
+    optional block cache (or config) for the non-pooled path; the pool
+    carries its own shared cache.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        iostats: IOStats | None = None,
+        pool: "FilePool | None" = None,
+        cache: object = None,
+    ):
         self.path = os.fspath(path)
-        self._file = File(self.path, "r", iostats=iostats)
+        if pool is not None:
+            self._file = pool.acquire(self.path, iostats=iostats)
+            self._owns_file = False
+        else:
+            self._file = File(self.path, "r", iostats=iostats, cache=cache)
+            self._owns_file = True
         try:
             self.metadata = DASMetadata.from_attrs(
                 {
@@ -151,12 +170,16 @@ class VCAHandle:
             )
             self.dataset = self._file.dataset(VCA_DATASET)
         except (StorageError, KeyError):
-            self._file.close()
+            self.close()
             raise StorageError(f"{self.path!r} is not a VCA file") from None
 
     @property
     def shape(self) -> tuple[int, ...]:
         return self.dataset.shape
+
+    @property
+    def itemsize(self) -> int:
+        return self.dataset.itemsize
 
     @property
     def sources(self):
@@ -178,7 +201,9 @@ class VCAHandle:
         return out
 
     def close(self) -> None:
-        self._file.close()
+        """Close the handle (a pooled file stays open, owned by the pool)."""
+        if self._owns_file:
+            self._file.close()
 
     def __enter__(self) -> "VCAHandle":
         return self
@@ -187,6 +212,11 @@ class VCAHandle:
         self.close()
 
 
-def open_vca(path: str | os.PathLike, iostats: IOStats | None = None) -> VCAHandle:
+def open_vca(
+    path: str | os.PathLike,
+    iostats: IOStats | None = None,
+    pool: "FilePool | None" = None,
+    cache: object = None,
+) -> VCAHandle:
     """Open a VCA file."""
-    return VCAHandle(path, iostats=iostats)
+    return VCAHandle(path, iostats=iostats, pool=pool, cache=cache)

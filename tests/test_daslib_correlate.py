@@ -51,6 +51,21 @@ class TestAbscorr:
     def test_zero_window_returns_zero(self):
         assert abscorr(np.zeros(10), np.ones(10)) == 0.0
 
+    def test_tiny_live_window_is_not_dead(self):
+        """Regression: the dead-window gate used to compare the *product*
+        of the two norms against the epsilon, so any window with norm
+        between ~1e-290 and ~1e-150 (product underflows the threshold
+        even though each norm clears it) was wrongly scored 0.0."""
+        x = np.full(4, 1.63830412e-151)
+        assert abscorr(x, x) == pytest.approx(1.0, abs=1e-9)
+
+    def test_tiny_window_precision_survives_denormal_energy(self):
+        """Windows whose squared energy lands in the denormal range must
+        still score like their full-scale copies (peak rescaling)."""
+        rng = np.random.default_rng(5)
+        a, b = rng.normal(size=(2, 64))
+        assert abscorr(1e-160 * a, 1e-160 * b) == pytest.approx(abscorr(a, b))
+
     def test_complex_spectra(self):
         rng = np.random.default_rng(4)
         spec = rng.normal(size=32) + 1j * rng.normal(size=32)

@@ -278,6 +278,116 @@ class TestCostModels:
         assert avoid.n_requests == 100
 
 
+class TestDtypeAccounting:
+    """Regression: the readers charged `size * 4` bytes regardless of the
+    dataset dtype; float64 sources were billed at half their real I/O."""
+
+    @pytest.fixture
+    def f64(self, tmp_path):
+        from repro.storage.dasfile import write_das_file
+        from repro.storage.metadata import DASMetadata, timestamp_add_seconds
+
+        rng = np.random.default_rng(3)
+        stamp = "170620100545"
+        paths, blocks = [], []
+        for _ in range(4):
+            block = rng.normal(size=(8, 40))
+            path = str(tmp_path / f"d_{stamp}.h5")
+            write_das_file(
+                path,
+                block,
+                DASMetadata(sampling_frequency=2.0, timestamp=stamp, n_channels=8),
+                channel_groups=False,
+                dtype=np.float64,
+            )
+            paths.append(path)
+            blocks.append(block)
+            stamp = timestamp_add_seconds(stamp, 60)
+        vca = create_vca(str(tmp_path / "v64.h5"), paths, dtype=np.float64)
+        rca = create_rca(str(tmp_path / "r64.h5"), paths, dtype=np.float64)
+        return {"vca": vca, "rca": rca, "n_files": 4, "shape": (8, 40)}
+
+    def test_commavoid_charges_itemsize_bytes(self, f64):
+        cluster = cori_haswell(2)
+
+        def fn(comm):
+            read_vca_communication_avoiding(comm, f64["vca"], cluster.storage)
+            return comm.tracer.schedule()
+
+        result = run_spmd(fn, 2, cluster=cluster, ranks_per_node=1)
+        rows, cols = f64["shape"]
+        for rank, schedule in enumerate(result.results):
+            reads = [s for s in schedule if s[0] == "read"]
+            expected = files_per_rank(f64["n_files"], 2, rank) * rows * cols * 8
+            assert reads[0][1] == expected
+
+    def test_collective_charges_itemsize_bytes(self, f64):
+        cluster = cori_haswell(2)
+
+        def fn(comm):
+            read_vca_collective_per_file(comm, f64["vca"], cluster.storage)
+            return comm.tracer.schedule()
+
+        result = run_spmd(fn, 2, cluster=cluster, ranks_per_node=1)
+        rows, cols = f64["shape"]
+        file_bytes = rows * cols * 8
+        for schedule in result.results:
+            agg_reads = [s for s in schedule if s[0] == "read" and s[1] > 0]
+            assert all(r[1] == file_bytes for r in agg_reads)
+
+    def test_rca_direct_charges_itemsize_bytes(self, f64):
+        cluster = cori_haswell(2)
+
+        def fn(comm):
+            read_rca_direct(comm, f64["rca"], cluster.storage)
+            return comm.tracer.schedule()
+
+        result = run_spmd(fn, 2, cluster=cluster, ranks_per_node=1)
+        rows, cols = f64["shape"]
+        total_cols = f64["n_files"] * cols
+        for rank, schedule in enumerate(result.results):
+            lo, hi = channel_block(rows, 2, rank)
+            reads = [s for s in schedule if s[0] == "read"]
+            assert reads[0][1] == (hi - lo) * total_cols * 8
+
+
+class TestPooledReaders:
+    """The readers accept a shared FilePool: same results, fewer opens."""
+
+    def _pooled_run(self, reader, path, ranks):
+        from repro.hdf5lite import BlockCache, FilePool
+        from repro.utils.iostats import IOStats
+
+        stats = IOStats()
+        cache = BlockCache(iostats=stats)
+        with FilePool(iostats=stats, cache=cache) as pool:
+            def fn(comm):
+                return reader(comm, path, pool=pool, iostats=stats)
+
+            result = run_spmd(fn, ranks)
+        return result, stats
+
+    def test_commavoid_pooled_matches_unpooled(self, merged):
+        result, stats = self._pooled_run(
+            read_vca_communication_avoiding, merged["vca"], 4
+        )
+        _assemble(result.results, merged["full"], 4)
+        # 6 sources + the VCA file itself, each opened exactly once.
+        assert stats.opens == 7
+
+    def test_collective_pooled_matches_unpooled(self, merged):
+        result, stats = self._pooled_run(
+            read_vca_collective_per_file, merged["vca"], 4
+        )
+        _assemble(result.results, merged["full"], 4)
+        assert stats.opens == 7
+
+    def test_rca_pooled(self, merged):
+        result, stats = self._pooled_run(read_rca_direct, merged["rca"], 4)
+        _assemble(result.results, merged["full"], 4)
+        assert stats.opens == 1
+
+
 class TestTraceEquivalence:
     """The executed schedules match what the model assumes."""
 
