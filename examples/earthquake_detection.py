@@ -11,7 +11,10 @@ Run:  python examples/earthquake_detection.py
 import numpy as np
 
 from repro.core.detection import detect_events
-from repro.core.local_similarity import LocalSimilarityConfig, local_similarity_block
+from repro.core.local_similarity import (
+    LocalSimilarityConfig,
+    streamed_local_similarity,
+)
 from repro.synthetic import fig1b_scene, synthesize_scene
 
 FS = 50.0
@@ -40,8 +43,20 @@ def main() -> None:
     data = synthesize_scene(scene, MINUTES, samples_per_minute=SPM)
 
     config = LocalSimilarityConfig(half_window=50, channel_offset=1, half_lag=5, stride=100)
-    print("computing local similarity (Algorithm 2) ...")
-    simi, centers = local_similarity_block(data, config)
+    # Stream the record through the chunked executor: one minute-sized
+    # block (plus the window/lag halo) resident at a time, threads
+    # splitting the channels — never the whole array.
+    print("computing local similarity (Algorithm 2, streamed) ...")
+    result, centers = streamed_local_similarity(
+        data, config, chunk_samples=SPM, threads=4, fs=FS
+    )
+    simi = result.output
+    profile = result.profile
+    print(
+        f"  {profile.n_chunks} chunks of {profile.chunk_samples} samples, "
+        f"peak resident {profile.peak_resident_bytes / 1e6:.1f} MB "
+        f"(whole array: {data.nbytes / 1e6:.1f} MB)"
+    )
 
     print("\nlocal-similarity map (channels down, time across):")
     print(ascii_map(simi))

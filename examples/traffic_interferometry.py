@@ -14,8 +14,8 @@ import numpy as np
 
 from repro.core.interferometry import (
     InterferometryConfig,
-    interferometry_block,
     noise_correlation_functions,
+    streamed_interferometry,
 )
 
 FS = 100.0
@@ -46,7 +46,20 @@ def main() -> None:
         fs=FS, band=(1.0, 12.0), resample_q=2, master_channel=0, whiten_spectra=True
     )
 
-    corr = interferometry_block(data, config)
+    # Stream Algorithm 3 through the chunked executor: 30-second blocks
+    # flow through detrend → taper → filtfilt → resample into the FFT
+    # accumulation sink, so only the decimated record is ever resident.
+    result = streamed_interferometry(
+        data, config, chunk_samples=int(30 * FS), threads=4
+    )
+    corr = result.output
+    profile = result.profile
+    print(
+        f"\nstreamed in {profile.n_chunks} chunks; peak resident "
+        f"{profile.peak_resident_bytes / 1e6:.2f} MB vs "
+        f"{data.nbytes / 1e6:.2f} MB whole array; stage seconds: "
+        + ", ".join(f"{k}={v:.3f}" for k, v in profile.phases.items())
+    )
     print("\nAlgorithm 3 output - |corr(channel, master)| per channel:")
     for channel in range(0, CHANNELS, 4):
         bar = "#" * int(corr[channel] * 40)

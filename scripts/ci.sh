@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 test suite + the cache benchmark smoke run.
+# CI entry point: tier-1 test suite + benchmark smoke runs.
 #
-# The smoke run asserts the cached VCA read path issues strictly fewer
-# file opens and backend read requests than the uncached path, and that
-# a budget-0 cache reproduces uncached behaviour byte-for-byte; it
-# records its counters in BENCH_cache.json (the perf trajectory).
+# The cache smoke run asserts the cached VCA read path issues strictly
+# fewer file opens and backend read requests than the uncached path, and
+# that a budget-0 cache reproduces uncached behaviour byte-for-byte
+# (BENCH_cache.json).  The pipeline smoke run asserts the streaming
+# chunked executor matches materialized execution to 1e-9 while its peak
+# resident bytes stay strictly below (BENCH_pipeline.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,3 +14,4 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python -m pytest -x -q
 python benchmarks/bench_cache.py --smoke
+python benchmarks/bench_pipeline.py --smoke

@@ -10,6 +10,9 @@ Reimplements the authors' prior system (HPDC'17) that DASSA extends:
   Apply(A, f)`` operator,
 * :func:`~repro.arrayudf.apply_mt.apply_mt` — the multithreaded Apply of
   DASSA's Hybrid ArrayUDF Execution Engine (Algorithm 1),
+* :func:`~repro.arrayudf.fuse.map_blocks_mt` — the same static-schedule
+  threading for whole fused operator chains (the streaming executor's
+  per-chunk parallelism),
 * :class:`~repro.arrayudf.engine.HybridEngine` — HAEE: one rank per
   node + threads, versus :class:`~repro.arrayudf.engine.MPIEngine`:
   one rank per core (the Fig. 8 comparison).
@@ -18,6 +21,7 @@ Reimplements the authors' prior system (HPDC'17) that DASSA extends:
 from repro.arrayudf.apply import apply
 from repro.arrayudf.apply_mt import apply_mt
 from repro.arrayudf.engine import EngineReport, HybridEngine, MPIEngine
+from repro.arrayudf.fuse import map_blocks_mt, partition_row_blocks
 from repro.arrayudf.ghost import exchange_halos
 from repro.arrayudf.partition import Partition, partition_1d, partition_rows
 from repro.arrayudf.stencil import Stencil
@@ -29,6 +33,8 @@ __all__ = [
     "partition_rows",
     "apply",
     "apply_mt",
+    "map_blocks_mt",
+    "partition_row_blocks",
     "exchange_halos",
     "MPIEngine",
     "HybridEngine",

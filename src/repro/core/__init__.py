@@ -9,7 +9,11 @@
 * :mod:`repro.core.baseline` — the MATLAB-style serial pipeline DASSA is
   compared against in Fig. 9,
 * :mod:`repro.core.framework` — the ``DASSA`` facade: search → merge →
-  analyse in three calls (the paper's future-work "Python API").
+  analyse in three calls (the paper's future-work "Python API"),
+* :mod:`repro.core.pipeline` / :mod:`repro.core.operators` — the
+  streaming chunked execution core: overlap-aware operators, the
+  chunk-at-a-time runner, and the materialised (MATLAB-style) execution
+  of the same graphs.
 """
 
 from repro.core.detection import DetectedEvent, detect_events
@@ -17,23 +21,52 @@ from repro.core.framework import DASSA
 from repro.core.interferometry import (
     InterferometryConfig,
     interferometry_block,
+    interferometry_operators,
+    preprocess_operators,
+    streamed_interferometry,
     traffic_noise_udf,
 )
 from repro.core.local_similarity import (
     LocalSimilarityConfig,
+    LocalSimilarityOp,
     local_similarity_block,
     local_similarity_udf,
+    streamed_local_similarity,
+)
+from repro.core.operators import (
+    CorrelateOp,
+    DecimateOp,
+    DetrendOp,
+    FFTSink,
+    FiltFiltOp,
+    TaperOp,
+    WhitenOp,
+)
+from repro.core.pipeline import (
+    OpContext,
+    Operator,
+    Pipeline,
+    PipelineProfile,
+    PipelineResult,
+    SinkOp,
+    Stage,
+    StreamPipeline,
+    run_materialized,
 )
 from repro.core.stacking import (
+    NCFStackSink,
     linear_stack,
     phase_weighted_stack,
     stack_snr,
+    streamed_stack,
     window_ncfs,
 )
 from repro.core.stalta import (
+    StaLtaOp,
     array_detections,
     classic_sta_lta,
     recursive_sta_lta,
+    streamed_sta_lta,
     trigger_onset,
 )
 from repro.core.planner import PlanOption, best_plan, plan
@@ -42,10 +75,15 @@ from repro.core.velocity import VelocityFit, fit_moveout, pick_arrivals
 __all__ = [
     "DASSA",
     "LocalSimilarityConfig",
+    "LocalSimilarityOp",
     "local_similarity_block",
     "local_similarity_udf",
+    "streamed_local_similarity",
     "InterferometryConfig",
     "interferometry_block",
+    "interferometry_operators",
+    "preprocess_operators",
+    "streamed_interferometry",
     "traffic_noise_udf",
     "DetectedEvent",
     "detect_events",
@@ -53,14 +91,35 @@ __all__ = [
     "linear_stack",
     "phase_weighted_stack",
     "stack_snr",
+    "NCFStackSink",
+    "streamed_stack",
     "classic_sta_lta",
     "recursive_sta_lta",
     "trigger_onset",
     "array_detections",
+    "StaLtaOp",
+    "streamed_sta_lta",
     "VelocityFit",
     "fit_moveout",
     "pick_arrivals",
     "plan",
     "best_plan",
     "PlanOption",
+    # streaming execution core
+    "Stage",
+    "Pipeline",
+    "OpContext",
+    "Operator",
+    "SinkOp",
+    "StreamPipeline",
+    "run_materialized",
+    "PipelineProfile",
+    "PipelineResult",
+    "DetrendOp",
+    "TaperOp",
+    "FiltFiltOp",
+    "DecimateOp",
+    "FFTSink",
+    "WhitenOp",
+    "CorrelateOp",
 ]

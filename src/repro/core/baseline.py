@@ -10,25 +10,30 @@ The geophysics team's production code (per the paper) is MATLAB that
   be parallelized",
 
 whereas DASSA parallelises the *entire* fused pipeline across threads.
-``matlab_style_pipeline`` reproduces that structure faithfully — the
-channel loops run the pure-Python/numpy filter recursion the way MATLAB
-loops run interpreted statements — and ``dassa_pipeline`` is the fused,
-thread-parallel counterpart.  ``Fig9Model`` is the corresponding
-analytic (Amdahl + interpreter-overhead) model used to project the
-paper-scale 16x.
+Both entry points here execute the *same* operator graph
+(:func:`~repro.core.interferometry.interferometry_operators`) under the
+two Fig. 9 policies: ``matlab_style_pipeline`` via
+:func:`~repro.core.pipeline.run_materialized` (stage at a time,
+interpreted channel loops, whole-array intermediates) and
+``dassa_pipeline`` via :class:`~repro.core.pipeline.StreamPipeline`
+(fused chain, thread-parallel channel blocks, shared master spectrum).
+``Fig9Model`` is the corresponding analytic (Amdahl +
+interpreter-overhead) model used to project the paper-scale 16x.
 """
 
 from __future__ import annotations
 
 import math
-import threading
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.arrayudf.partition import partition_1d
-from repro.core.interferometry import InterferometryConfig, interferometry_block
-from repro.daslib import abscorr, detrend, fft, filtfilt, next_fast_len, resample
+from repro.core.interferometry import (
+    InterferometryConfig,
+    interferometry_operators,
+    master_spectrum,
+)
+from repro.core.pipeline import PipelineResult, StreamPipeline, run_materialized
 from repro.errors import ConfigError
 from repro.utils.timer import Timer
 
@@ -41,50 +46,26 @@ def matlab_style_pipeline(
     """Algorithm 3 the way the MATLAB codes run it: stage by stage over
     the whole array, channel loops interpreted, every intermediate
     materialised."""
-    data = np.asarray(data, dtype=np.float64)
-    if data.ndim != 2:
-        raise ConfigError("need a 2-D (channels, time) array")
-    timer = timer if timer is not None else Timer()
-    b, a = config.coefficients()
-    n_channels = data.shape[0]
+    result = matlab_style_run(data, config, timer=timer)
+    return result.output
 
-    with timer.phase("detrend"):
-        detrended = np.empty_like(data)
-        for channel in range(n_channels):  # interpreted channel loop
-            detrended[channel] = detrend(data[channel])
 
-    if config.taper_fraction > 0:
-        with timer.phase("taper"):
-            from repro.daslib import taper
-
-            for channel in range(n_channels):
-                detrended[channel] = taper(
-                    detrended[channel], config.taper_fraction
-                )
-
-    with timer.phase("filtfilt"):
-        filtered = np.empty_like(detrended)
-        for channel in range(n_channels):
-            # engine="numpy": the interpreted recursion, like a MATLAB
-            # script loop (no compiled filter kernel).
-            filtered[channel] = filtfilt(b, a, detrended[channel], engine="numpy")
-
-    with timer.phase("resample"):
-        out_len = -(-data.shape[1] // config.resample_q)
-        resampled = np.empty((n_channels, out_len))
-        for channel in range(n_channels):
-            resampled[channel] = resample(filtered[channel], 1, config.resample_q)
-
-    with timer.phase("fft"):
-        nfft = next_fast_len(out_len)
-        spectra = fft(resampled, n=nfft, axis=-1)  # built-in kernel: threaded
-
-    with timer.phase("correlate"):
-        master = spectra[config.master_channel]
-        result = np.empty(n_channels)
-        for channel in range(n_channels):
-            result[channel] = abscorr(spectra[channel], master)
-    return result
+def matlab_style_run(
+    data: np.ndarray,
+    config: InterferometryConfig,
+    timer: Timer | None = None,
+) -> PipelineResult:
+    """Like :func:`matlab_style_pipeline` but returning the full
+    :class:`~repro.core.pipeline.PipelineResult` (whole-array
+    peak-resident bytes included — the materialising side of the Fig. 9
+    memory comparison)."""
+    return run_materialized(
+        interferometry_operators(config),
+        data,
+        fs=config.fs,
+        timer=timer,
+        interpreted=True,
+    )
 
 
 def dassa_pipeline(
@@ -96,46 +77,40 @@ def dassa_pipeline(
     """The DASSA execution of the same analysis: the whole fused pipeline
     runs on each thread's channel block concurrently (HAEE on one node),
     with the master spectrum computed once and shared."""
+    result = dassa_run(data, config, threads=threads, timer=timer)
+    return result.output
+
+
+def dassa_run(
+    data: np.ndarray,
+    config: InterferometryConfig,
+    threads: int = 12,
+    timer: Timer | None = None,
+    chunk_samples: int | None = None,
+) -> PipelineResult:
+    """The streaming-executor form of :func:`dassa_pipeline`.
+
+    ``chunk_samples=None`` processes one whole-record chunk (the paper's
+    single-node setting: the node's slab is in memory and only channels
+    are split across threads); a finite value bounds the resident block
+    as well — the same graph under a different chunking policy.
+    """
     data = np.asarray(data, dtype=np.float64)
     if data.ndim != 2:
         raise ConfigError("need a 2-D (channels, time) array")
     if threads < 1:
         raise ConfigError("threads must be >= 1")
-    timer = timer if timer is not None else Timer()
-    n_channels = data.shape[0]
-    threads = min(threads, n_channels)
-
-    with timer.phase("compute"):
-        # Master spectrum once (shared across threads, not duplicated).
-        from repro.core.interferometry import master_spectrum
-
-        mfft = master_spectrum(data[config.master_channel : config.master_channel + 1], config)
-        result = np.empty(n_channels)
-        errors: list[BaseException] = []
-
-        def worker(thread_id: int) -> None:
-            try:
-                lo, hi = partition_1d(n_channels, threads, thread_id)
-                if hi > lo:
-                    result[lo:hi] = interferometry_block(
-                        data[lo:hi], config, master_fft=mfft
-                    )
-            except BaseException as exc:  # noqa: BLE001
-                errors.append(exc)
-
-        if threads == 1:
-            worker(0)
-        else:
-            pool = [
-                threading.Thread(target=worker, args=(h,)) for h in range(threads)
-            ]
-            for t in pool:
-                t.start()
-            for t in pool:
-                t.join()
-        if errors:
-            raise errors[0]
-    return result
+    # Master spectrum once (shared across threads, not duplicated).
+    mc = config.master_channel
+    mfft = master_spectrum(data[mc : mc + 1], config)
+    pipe = StreamPipeline(interferometry_operators(config, master_fft=mfft))
+    return pipe.run(
+        data,
+        chunk_samples=chunk_samples,
+        threads=threads,
+        timer=timer,
+        fs=config.fs,
+    )
 
 
 @dataclass(frozen=True)

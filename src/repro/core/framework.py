@@ -24,15 +24,17 @@ from repro.cluster.presets import laptop
 from repro.core.detection import DetectedEvent, detect_events
 from repro.core.interferometry import (
     InterferometryConfig,
-    interferometry_block,
-    master_spectrum,
     noise_correlation_functions,
+    streamed_interferometry,
 )
 from repro.core.local_similarity import (
     LocalSimilarityConfig,
-    local_similarity_block,
+    streamed_local_similarity,
 )
+from repro.core.pipeline import PipelineProfile
+from repro.core.stalta import streamed_sta_lta
 from repro.errors import ConfigError, StorageError
+from repro.storage.chunks import ChunkSource, as_source, auto_chunk_samples
 from repro.storage.rca import create_rca
 from repro.storage.search import DASFileInfo, das_search
 from repro.storage.vca import VCAHandle, create_vca, open_vca
@@ -40,29 +42,52 @@ from repro.storage.vca import VCAHandle, create_vca, open_vca
 
 @dataclass
 class DASSAConfig:
-    """Framework-level knobs."""
+    """Framework-level knobs.
+
+    ``chunk_samples=None`` sizes streaming chunks automatically so a raw
+    block stays under ``chunk_bytes`` (whole record if it already fits);
+    analysis never materialises more than one such block plus the
+    per-stage halos.
+    """
 
     cluster: ClusterSpec = field(default_factory=laptop)
     threads: int = 4
     workdir: str | None = None
+    chunk_samples: int | None = None
+    chunk_bytes: int = 64 << 20
 
 
 class DASSA:
-    """One entry point tying DASS (storage) and DASA (analysis) together."""
+    """One entry point tying DASS (storage) and DASA (analysis) together.
+
+    Every analysis call streams its source through the chunked execution
+    core (:class:`~repro.core.pipeline.StreamPipeline`); the profile of
+    the most recent run (per-stage seconds, bytes streamed, peak
+    resident bytes) is kept in :attr:`last_profile`.
+    """
 
     def __init__(
         self,
         cluster: ClusterSpec | None = None,
         threads: int = 4,
         workdir: str | os.PathLike | None = None,
+        chunk_samples: int | None = None,
+        chunk_bytes: int = 64 << 20,
     ):
         if threads < 1:
             raise ConfigError("threads must be >= 1")
+        if chunk_samples is not None and chunk_samples < 1:
+            raise ConfigError("chunk_samples must be >= 1")
+        if chunk_bytes < 1:
+            raise ConfigError("chunk_bytes must be >= 1")
         self.config = DASSAConfig(
             cluster=cluster if cluster is not None else laptop(),
             threads=threads,
             workdir=os.fspath(workdir) if workdir is not None else None,
+            chunk_samples=chunk_samples,
+            chunk_bytes=chunk_bytes,
         )
+        self.last_profile: PipelineProfile | None = None
         self._tmpdir: tempfile.TemporaryDirectory | None = None
 
     # -- storage side --------------------------------------------------------------
@@ -130,20 +155,50 @@ class DASSA:
                 vca.metadata.sampling_frequency,
             )
 
+    def _open_source(
+        self, source: str | np.ndarray | VCAHandle | ChunkSource
+    ) -> tuple[ChunkSource, bool]:
+        """Coerce to a chunk source; second element says we opened (and
+        must close) a file handle."""
+        owns = isinstance(source, (str, os.PathLike))
+        return as_source(source), owns
+
+    def _chunk_for(self, src: ChunkSource) -> int:
+        if self.config.chunk_samples is not None:
+            return self.config.chunk_samples
+        return auto_chunk_samples(
+            src.n_channels, src.n_samples, budget_bytes=self.config.chunk_bytes
+        )
+
     # -- analysis side -------------------------------------------------------------
     def local_similarity(
         self,
         source: str | np.ndarray | VCAHandle,
         config: LocalSimilarityConfig | None = None,
+        chunk_samples: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Algorithm 2 over a VCA path / handle / array.
+        """Algorithm 2 over a VCA path / handle / array, streamed in
+        overlap-padded chunks.
 
         Returns ``(similarity_map, window_centers)``; the map covers
         channels K..C-K (array edges have no ±K neighbours).
         """
-        data, _ = self._load(source)
         config = config if config is not None else LocalSimilarityConfig()
-        return local_similarity_block(data, config)
+        src, owns = self._open_source(source)
+        try:
+            result, centers = streamed_local_similarity(
+                src,
+                config,
+                chunk_samples=(
+                    chunk_samples if chunk_samples is not None else self._chunk_for(src)
+                ),
+                threads=self.config.threads,
+            )
+        finally:
+            if owns:
+                src.close()
+        self.last_profile = result.profile
+        return result.output, centers
 
     def detect(
         self,
@@ -159,15 +214,91 @@ class DASSA:
         self,
         source: str | np.ndarray | VCAHandle,
         config: InterferometryConfig | None = None,
+        chunk_samples: int | None = None,
     ) -> np.ndarray:
-        """Algorithm 3: per-channel correlation against the master channel."""
-        data, fs = self._load(source)
-        if config is None:
-            config = InterferometryConfig(fs=fs if fs > 0 else 500.0)
-        mfft = master_spectrum(
-            data[config.master_channel : config.master_channel + 1], config
-        )
-        return interferometry_block(data, config, master_fft=mfft)
+        """Algorithm 3: per-channel correlation against the master channel,
+        streamed so the raw record is never resident at once."""
+        src, owns = self._open_source(source)
+        try:
+            if config is None:
+                config = InterferometryConfig(fs=src.fs if src.fs > 0 else 500.0)
+            result = streamed_interferometry(
+                src,
+                config,
+                chunk_samples=(
+                    chunk_samples if chunk_samples is not None else self._chunk_for(src)
+                ),
+                threads=self.config.threads,
+            )
+        finally:
+            if owns:
+                src.close()
+        self.last_profile = result.profile
+        return result.output
+
+    def sta_lta(
+        self,
+        source: str | np.ndarray | VCAHandle,
+        nsta: int,
+        nlta: int,
+        chunk_samples: int | None = None,
+    ) -> np.ndarray:
+        """Classic STA/LTA ratios per channel, streamed with an
+        ``nlta - 1``-sample lookback halo."""
+        src, owns = self._open_source(source)
+        try:
+            result = streamed_sta_lta(
+                src,
+                nsta,
+                nlta,
+                chunk_samples=(
+                    chunk_samples if chunk_samples is not None else self._chunk_for(src)
+                ),
+                threads=self.config.threads,
+            )
+        finally:
+            if owns:
+                src.close()
+        self.last_profile = result.profile
+        return result.output
+
+    def stack(
+        self,
+        source: str | np.ndarray | VCAHandle,
+        config: InterferometryConfig | None = None,
+        window_seconds: float = 60.0,
+        overlap: float = 0.0,
+        max_lag_seconds: float | None = None,
+        method: str = "linear",
+        power: float = 2.0,
+        chunk_samples: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Windowed NCF stacking (linear or phase-weighted), streamed:
+        windows are correlated and folded into the running stack as the
+        record flows past, so the §IV 3-D window cube never exists."""
+        from repro.core.stacking import streamed_stack
+
+        src, owns = self._open_source(source)
+        try:
+            if config is None:
+                config = InterferometryConfig(fs=src.fs if src.fs > 0 else 500.0)
+            result = streamed_stack(
+                src,
+                config,
+                window_seconds,
+                overlap=overlap,
+                max_lag_seconds=max_lag_seconds,
+                method=method,
+                power=power,
+                chunk_samples=(
+                    chunk_samples if chunk_samples is not None else self._chunk_for(src)
+                ),
+            )
+        finally:
+            if owns:
+                src.close()
+        self.last_profile = result.profile
+        return result.output
 
     def noise_correlations(
         self,

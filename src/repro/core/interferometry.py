@@ -183,3 +183,81 @@ def noise_correlation_functions(
         keep = np.abs(lags) <= max_lag_seconds
         lags, cc = lags[keep], cc[:, keep]
     return lags, cc
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 3 as an operator chain (the streaming execution core)
+# ---------------------------------------------------------------------------
+
+
+def preprocess_operators(config: InterferometryConfig) -> list:
+    """The :func:`preprocess` chain as streaming operators
+    (detrend → taper → filtfilt → resample), each with its overlap
+    contract, runnable chunk-at-a-time by
+    :class:`~repro.core.pipeline.StreamPipeline`."""
+    from repro.core.operators import DecimateOp, DetrendOp, FiltFiltOp, TaperOp
+
+    b, a = config.coefficients()
+    ops: list = [DetrendOp()]
+    if config.taper_fraction > 0:
+        ops.append(TaperOp(config.taper_fraction))
+    ops.append(FiltFiltOp(b, a))
+    ops.append(DecimateOp(config.resample_q))
+    return ops
+
+
+def interferometry_operators(
+    config: InterferometryConfig, master_fft: np.ndarray | None = None
+) -> list:
+    """The full Algorithm 3 graph: preprocessing map operators, the FFT
+    accumulation sink, and the post-sink spectrum stages.
+
+    The same graph serves both Fig. 9 execution styles:
+    :func:`~repro.core.pipeline.run_materialized` runs it MATLAB-style,
+    :class:`~repro.core.pipeline.StreamPipeline` streams it in
+    overlap-aware chunks.
+    """
+    from repro.core.operators import CorrelateOp, FFTSink, WhitenOp
+
+    ops = preprocess_operators(config)
+    ops.append(FFTSink(nfft=len(master_fft) if master_fft is not None else None))
+    if config.whiten_spectra:
+        ops.append(WhitenOp())
+    ops.append(
+        CorrelateOp(master_fft=master_fft, master_channel=config.master_channel)
+    )
+    return ops
+
+
+def streamed_interferometry(
+    source: object,
+    config: InterferometryConfig,
+    chunk_samples: int | None = None,
+    threads: int = 1,
+    timer: object = None,
+    iostats: object = None,
+):
+    """Algorithm 3 over a chunk source, never holding the raw record.
+
+    The master spectrum is computed once from the master channel (one
+    channel of full-length data — the shared node-level state), then the
+    whole chain streams through :class:`~repro.core.pipeline.StreamPipeline`.
+    Returns a :class:`~repro.core.pipeline.PipelineResult` whose output
+    matches :func:`interferometry_block` on the materialised array.
+    """
+    from repro.core.pipeline import StreamPipeline
+    from repro.storage.chunks import as_source
+
+    src = as_source(source, fs=config.fs)
+    mc = config.master_channel
+    master = src.read_rows(mc, mc + 1, 0, src.n_samples)
+    mfft = master_spectrum(master, config)
+    pipe = StreamPipeline(interferometry_operators(config, master_fft=mfft))
+    return pipe.run(
+        src,
+        chunk_samples=chunk_samples,
+        threads=threads,
+        timer=timer,
+        iostats=iostats,
+        fs=config.fs,
+    )

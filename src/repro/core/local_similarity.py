@@ -27,6 +27,7 @@ from typing import Callable
 import numpy as np
 
 from repro.arrayudf.stencil import Stencil
+from repro.core.pipeline import OpContext, Operator
 from repro.daslib.correlate import abscorr
 from repro.daslib.moving import sliding_windows
 from repro.errors import ConfigError
@@ -99,6 +100,62 @@ def local_similarity_udf(
     return LocalSimi
 
 
+def similarity_at(
+    data: np.ndarray,
+    config: LocalSimilarityConfig,
+    starts: np.ndarray,
+    channel_range: tuple[int, int] | None = None,
+) -> np.ndarray:
+    """The vectorised similarity kernel at explicit window-start indices.
+
+    ``starts`` are window start positions (centre − M) within ``data``;
+    every shifted neighbour window (``start ± L``) must fit inside the
+    block.  Shared by :func:`local_similarity_block` (whole-array grid)
+    and :class:`LocalSimilarityOp` (a chunk's slice of the same grid),
+    which is what makes streamed output identical to whole-array output.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ConfigError("local similarity needs a 2-D (channels, time) block")
+    n_channels, n_samples = data.shape
+    K = config.channel_offset
+    L = config.half_lag
+    wlen = config.window_len
+    c_lo, c_hi = channel_range if channel_range is not None else (K, n_channels - K)
+    if not (0 <= c_lo - K and c_hi + K <= n_channels and c_lo <= c_hi):
+        raise ConfigError(
+            f"channel range ({c_lo}, {c_hi}) ±{K} outside block of {n_channels}"
+        )
+    starts = np.asarray(starts, dtype=int)
+    if len(starts) == 0 or c_hi == c_lo:
+        return np.zeros((max(0, c_hi - c_lo), len(starts)))
+    if starts.min() - L < 0 or starts.max() + L + wlen > n_samples:
+        raise ConfigError(
+            f"window starts [{starts.min()}, {starts.max()}] ±{L} with width "
+            f"{wlen} outside block of {n_samples} samples"
+        )
+
+    # All windows, every start position: (channels, n_samples - wlen + 1, wlen)
+    windows = sliding_windows(data, wlen, axis=-1)
+    norms = np.sqrt(np.einsum("ctw,ctw->ct", windows, windows))
+
+    ref = windows[c_lo:c_hi][:, starts]  # (C_eval, n_starts, wlen)
+    ref_norm = norms[c_lo:c_hi][:, starts]
+
+    best_plus = np.zeros(ref.shape[:2])
+    best_minus = np.zeros(ref.shape[:2])
+    for lag in range(-L, L + 1):
+        shifted = starts + lag
+        for sign, best in ((+1, best_plus), (-1, best_minus)):
+            neigh = windows[c_lo + sign * K : c_hi + sign * K][:, shifted]
+            dots = np.abs(np.einsum("ctw,ctw->ct", ref, neigh))
+            denom = ref_norm * norms[c_lo + sign * K : c_hi + sign * K][:, shifted]
+            with np.errstate(invalid="ignore", divide="ignore"):
+                corr = np.where(denom > 0, dots / np.where(denom > 0, denom, 1.0), 0.0)
+            np.maximum(best, corr, out=best)
+    return 0.5 * (best_plus + best_minus)
+
+
 def local_similarity_block(
     data: np.ndarray,
     config: LocalSimilarityConfig,
@@ -115,36 +172,101 @@ def local_similarity_block(
     data = np.asarray(data, dtype=np.float64)
     if data.ndim != 2:
         raise ConfigError("local similarity needs a 2-D (channels, time) block")
-    n_channels, n_samples = data.shape
-    K = config.channel_offset
-    c_lo, c_hi = channel_range if channel_range is not None else (K, n_channels - K)
-    if not (0 <= c_lo - K and c_hi + K <= n_channels and c_lo <= c_hi):
-        raise ConfigError(
-            f"channel range ({c_lo}, {c_hi}) ±{K} outside block of {n_channels}"
+    centers = config.centers(data.shape[-1])
+    similarity = similarity_at(
+        data, config, centers - config.half_window, channel_range=channel_range
+    )
+    return similarity, centers
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 2 as a streaming operator
+# ---------------------------------------------------------------------------
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+class LocalSimilarityOp(Operator):
+    """Algorithm 2 on the streaming executor.
+
+    Output index ``j`` is the window centred at sample
+    ``time_halo + j * stride`` — the exact whole-array grid of
+    :meth:`LocalSimilarityConfig.centers` — so chunks tile the centre
+    axis and streamed maps equal whole-array maps sample for sample.
+    The operator also declares a ±K *channel* halo: output channel ``c``
+    needs input channels ``c .. c + 2K`` (centre ``c + K``), which is
+    how thread partitions of the output rows stay independent.
+    """
+
+    name = "local_similarity"
+
+    def __init__(self, config: LocalSimilarityConfig):
+        self.config = config
+        self.channel_halo = config.channel_offset
+        th = config.time_halo
+        self.halo = (th, th)
+
+    # -- geometry -----------------------------------------------------------
+    def out_total(self, total_in: int) -> int:
+        return len(self.config.centers(total_in))
+
+    def out_fs(self, fs_in: float) -> float:
+        return fs_in / self.config.stride if fs_in else fs_in
+
+    def out_core(self, lo: int, hi: int) -> tuple[int, int]:
+        th, s = self.config.time_halo, self.config.stride
+        return _ceil_div(lo - th, s), _ceil_div(hi - th, s)
+
+    def out_full(self, a: int, b: int) -> tuple[int, int]:
+        th, s = self.config.time_halo, self.config.stride
+        return _ceil_div(a, s), _ceil_div(b - 2 * th, s)
+
+    def in_needed(self, lo: int, hi: int) -> tuple[int, int]:
+        th, s = self.config.time_halo, self.config.stride
+        return lo * s, (hi - 1) * s + 2 * th + 1
+
+    # -- execution ----------------------------------------------------------
+    def apply(self, data: np.ndarray, ctx: OpContext) -> np.ndarray:
+        cfg = self.config
+        th, s = cfg.time_halo, cfg.stride
+        n_out = self.out_total(ctx.total)
+        j_lo = min(max(_ceil_div(ctx.start, s), 0), n_out)
+        j_hi = min(max(_ceil_div(ctx.stop - 2 * th, s), j_lo), n_out)
+        # Window start (centre − M) in block-local coordinates.
+        starts = cfg.half_lag + np.arange(j_lo, j_hi) * s - ctx.start
+        K = cfg.channel_offset
+        return similarity_at(
+            data, cfg, starts, channel_range=(K, data.shape[0] - K)
         )
-    centers = config.centers(n_samples)
-    if len(centers) == 0 or c_hi == c_lo:
-        return np.zeros((max(0, c_hi - c_lo), len(centers))), centers
 
-    wlen = config.window_len
-    M = config.half_window
-    # All windows, every start position: (channels, n_samples - wlen + 1, wlen)
-    windows = sliding_windows(data, wlen, axis=-1)
-    norms = np.sqrt(np.einsum("ctw,ctw->ct", windows, windows))
 
-    start = centers - M  # window start index per centre
-    ref = windows[c_lo:c_hi][:, start]  # (C_eval, n_centers, wlen)
-    ref_norm = norms[c_lo:c_hi][:, start]
+def streamed_local_similarity(
+    source: object,
+    config: LocalSimilarityConfig | None = None,
+    chunk_samples: int | None = None,
+    threads: int = 1,
+    timer: object = None,
+    iostats: object = None,
+    fs: float | None = None,
+):
+    """Algorithm 2 over a chunk source, one overlap-padded block at a time.
 
-    best_plus = np.zeros(ref.shape[:2])
-    best_minus = np.zeros(ref.shape[:2])
-    for lag in range(-config.half_lag, config.half_lag + 1):
-        shifted = start + lag
-        for sign, best in ((+1, best_plus), (-1, best_minus)):
-            neigh = windows[c_lo + sign * K : c_hi + sign * K][:, shifted]
-            dots = np.abs(np.einsum("ctw,ctw->ct", ref, neigh))
-            denom = ref_norm * norms[c_lo + sign * K : c_hi + sign * K][:, shifted]
-            with np.errstate(invalid="ignore", divide="ignore"):
-                corr = np.where(denom > 0, dots / np.where(denom > 0, denom, 1.0), 0.0)
-            np.maximum(best, corr, out=best)
-    return 0.5 * (best_plus + best_minus), centers
+    Returns ``(result, centers)`` with ``result`` a
+    :class:`~repro.core.pipeline.PipelineResult` whose output matches
+    :func:`local_similarity_block` on the materialised array.
+    """
+    from repro.core.pipeline import StreamPipeline
+    from repro.storage.chunks import as_source
+
+    config = config if config is not None else LocalSimilarityConfig()
+    src = as_source(source, fs=fs)
+    result = StreamPipeline([LocalSimilarityOp(config)]).run(
+        src,
+        chunk_samples=chunk_samples,
+        threads=threads,
+        timer=timer,
+        iostats=iostats,
+    )
+    return result, config.centers(src.n_samples)

@@ -1,18 +1,702 @@
-"""A tiny composable stage pipeline with per-stage timing.
+"""The streaming chunked execution core.
 
-Both execution styles of Fig. 9 are expressed over the same stages:
-the MATLAB-style baseline runs them stage-at-a-time over the whole
-array (materialising every intermediate), while DASSA fuses the whole
-chain per data chunk inside threads.
+DASSA's headline execution claim (Fig. 9) is that the *whole* DSP chain
+runs fused over each data chunk, instead of MATLAB's stage-at-a-time
+whole-array materialisation.  This module is that execution core:
+
+* :class:`Operator` — one stage of a ``(channels, time)`` pipeline that
+  declares its **overlap contract**: how many input samples of context
+  (halo / ghost zone) each produced output needs (``in_needed``), how
+  input intervals map to output intervals (``out_core`` / ``out_full``,
+  covering decimation and strided window grids), and optional **carried
+  state** filled by a streaming pre-pass (e.g. the global linear fit a
+  ``detrend`` subtracts).
+* :class:`SinkOp` — a terminal reduction with carried state that consumes
+  the streamed chunks (an FFT accumulator, an NCF stacker); operators
+  after a sink run once on its finalised output.
+* :class:`StreamPipeline` — the runner: for each core time interval it
+  plans the padded read by composing ``in_needed`` backwards through the
+  chain, pulls the block from a :class:`~repro.storage.chunks.ChunkSource`
+  (VCA/LAV/array — halo re-reads hit the hdf5lite block cache), executes
+  the fused chain (optionally thread-parallel over channel blocks in the
+  ApplyMT structure), and stitches the ghost zones away so streamed
+  output is numerically equivalent to whole-array output.
+* :func:`run_materialized` — the same operator graph executed MATLAB
+  style: one stage at a time over the whole array, optionally with
+  interpreted per-channel loops.  Both Fig. 9 execution styles are
+  literally the same graph under different chunking policies.
+
+Every run reports a :class:`PipelineProfile`: per-stage wall time
+(:class:`~repro.utils.timer.Timer` phases), bytes streamed/read, and the
+peak resident array bytes — the quantity chunking is meant to bound.
+
+The original tiny :class:`Pipeline` stage list is kept for lightweight
+composition and the Fig. 9 micro-comparisons.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
+import numpy as np
+
+from repro.arrayudf.fuse import map_blocks_mt
 from repro.errors import ConfigError
+from repro.storage.chunks import ChunkSource, as_source, auto_chunk_samples, iter_intervals
+from repro.utils.iostats import IOStats
 from repro.utils.timer import Timer
+
+__all__ = [
+    "Stage",
+    "Pipeline",
+    "OpContext",
+    "Operator",
+    "SinkOp",
+    "PipelineProfile",
+    "PipelineResult",
+    "StreamPipeline",
+    "run_materialized",
+    "auto_chunk_samples",
+]
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _clamp(lo: int, hi: int, total: int) -> tuple[int, int]:
+    lo = min(max(lo, 0), total)
+    hi = min(max(hi, lo), total)
+    return lo, hi
+
+
+# ---------------------------------------------------------------------------
+# operator contract
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OpContext:
+    """What an operator knows about the block it was handed.
+
+    ``start``/``stop`` are the absolute sample interval of the block at
+    this operator's *input* rate; ``total`` is the whole record's length
+    at that rate, ``fs`` its sampling rate.  ``channel_lo`` is the
+    absolute channel index of row 0 (thread partitions hand operators row
+    slices).  ``state`` is whatever :meth:`Operator.bind` or the pre-pass
+    produced.  ``interpreted`` asks for the MATLAB-faithful per-channel
+    loop (only ever set by :func:`run_materialized`).
+    """
+
+    start: int
+    stop: int
+    total: int
+    fs: float = 0.0
+    channel_lo: int = 0
+    state: Any = None
+    interpreted: bool = False
+
+    @property
+    def whole(self) -> bool:
+        return self.start == 0 and self.stop == self.total
+
+
+class Operator:
+    """One stage of a streaming pipeline over ``(channels, time)`` blocks.
+
+    Subclasses implement :meth:`apply` and declare their geometry:
+
+    ``halo``
+        ``(left, right)`` input samples of context each produced output
+        needs beyond its own interval (filter settling, window lookback).
+    ``decimate``
+        ``q``: output ``j`` corresponds to input ``j * q`` (1 for
+        same-rate stages).  Stages with a non-affine grid (strided window
+        centres) override the interval methods instead.
+    ``channel_halo``
+        ``K``: output row ``r`` needs input rows ``r .. r + 2K`` (0 for
+        channel-wise stages).
+
+    The three interval methods define the stitching algebra; the runner
+    clamps every returned interval to the valid range:
+
+    * ``out_core(lo, hi)`` — which outputs a core input interval *owns*
+      (must tile the output axis over consecutive chunks),
+    * ``out_full(a, b)`` — which outputs :meth:`apply` produces from a
+      padded block covering ``[a, b)`` (core plus approximate fringe),
+    * ``in_needed(lo, hi)`` — which inputs are needed to produce outputs
+      ``[lo, hi)`` *accurately*.
+    """
+
+    name = "op"
+    halo: tuple[int, int] = (0, 0)
+    decimate: int = 1
+    channel_halo: int = 0
+    needs_prepass = False
+
+    # -- geometry -----------------------------------------------------------
+    def out_total(self, total_in: int) -> int:
+        return _ceil_div(total_in, self.decimate)
+
+    def out_fs(self, fs_in: float) -> float:
+        return fs_in / self.decimate if fs_in else fs_in
+
+    def out_channels(self, channels_in: int) -> int:
+        return channels_in - 2 * self.channel_halo
+
+    def in_rows(self, lo: int, hi: int) -> tuple[int, int]:
+        return lo, hi + 2 * self.channel_halo
+
+    def out_core(self, lo: int, hi: int) -> tuple[int, int]:
+        q = self.decimate
+        return _ceil_div(lo, q), _ceil_div(hi, q)
+
+    def out_full(self, a: int, b: int) -> tuple[int, int]:
+        return self.out_core(a, b)
+
+    def in_needed(self, lo: int, hi: int) -> tuple[int, int]:
+        q = self.decimate
+        left, right = self.halo
+        return lo * q - left, (hi - 1) * q + 1 + right
+
+    # -- state --------------------------------------------------------------
+    def bind(self, n_channels: int, total_in: int, fs_in: float) -> Any:
+        """Per-run state computed from the record's geometry (no data)."""
+        return None
+
+    def prepass_init(self, n_channels: int, total_in: int) -> Any:
+        raise NotImplementedError
+
+    def prepass_update(self, acc: Any, chunk: np.ndarray, start: int) -> None:
+        raise NotImplementedError
+
+    def prepass_finalize(self, acc: Any) -> Any:
+        raise NotImplementedError
+
+    # -- execution ----------------------------------------------------------
+    def apply(self, data: np.ndarray, ctx: OpContext) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class SinkOp:
+    """A terminal reduction over the streamed chunks (carried state).
+
+    The runner calls ``init`` once, ``consume`` per core chunk (in time
+    order, ghost zones already stitched away), and ``finalize`` once;
+    operators after the sink are applied to the finalised array.
+    ``resident_bytes`` is the sink's contribution to the peak-memory
+    accounting (accumulation buffers).
+    """
+
+    name = "sink"
+
+    def init(self, n_channels: int, total_in: int, fs_in: float) -> Any:
+        raise NotImplementedError
+
+    def consume(self, state: Any, chunk: np.ndarray, ctx: OpContext) -> None:
+        raise NotImplementedError
+
+    def finalize(self, state: Any) -> Any:
+        raise NotImplementedError
+
+    def resident_bytes(self, state: Any) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class FnOperator(Operator):
+    """A same-geometry operator from a plain ``fn(block) -> block``."""
+
+    def __init__(self, name: str, fn: Callable[[np.ndarray], np.ndarray]):
+        self.name = name
+        self._fn = fn
+
+    def apply(self, data: np.ndarray, ctx: OpContext) -> np.ndarray:
+        return self._fn(data)
+
+
+# ---------------------------------------------------------------------------
+# profiles
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PipelineProfile:
+    """Per-run execution profile: where the time and the bytes went."""
+
+    phases: dict[str, float] = field(default_factory=dict)
+    n_chunks: int = 0
+    chunk_samples: int = 0
+    threads: int = 1
+    bytes_streamed: int = 0
+    bytes_read: int | None = None
+    peak_resident_bytes: int = 0
+    output_bytes: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phases.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "phases": dict(self.phases),
+            "n_chunks": self.n_chunks,
+            "chunk_samples": self.chunk_samples,
+            "threads": self.threads,
+            "bytes_streamed": self.bytes_streamed,
+            "bytes_read": self.bytes_read,
+            "peak_resident_bytes": self.peak_resident_bytes,
+            "output_bytes": self.output_bytes,
+            "total_seconds": self.total_seconds,
+        }
+
+
+@dataclass
+class PipelineResult:
+    output: Any
+    profile: PipelineProfile
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+
+
+class StreamPipeline:
+    """An operator chain executed chunk-at-a-time with ghost-zone stitching.
+
+    ``operators`` is a sequence of :class:`Operator` with at most one
+    :class:`SinkOp`; operators after the sink run once on its finalised
+    output (e.g. correlate after an FFT accumulator).
+    """
+
+    def __init__(self, operators: list):
+        if not operators:
+            raise ConfigError("empty pipeline")
+        self.maps: list[Operator] = []
+        self.sink: SinkOp | None = None
+        self.post: list[Operator] = []
+        for op in operators:
+            if isinstance(op, SinkOp):
+                if self.sink is not None:
+                    raise ConfigError("a pipeline can hold at most one sink")
+                self.sink = op
+            elif isinstance(op, Operator):
+                if self.sink is None:
+                    self.maps.append(op)
+                else:
+                    self.post.append(op)
+            else:
+                raise ConfigError(f"not an operator: {op!r}")
+        names = [op.name for op in self.operators]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate operator names in {names}")
+
+    @property
+    def operators(self) -> list:
+        ops: list = list(self.maps)
+        if self.sink is not None:
+            ops.append(self.sink)
+        ops.extend(self.post)
+        return ops
+
+    @property
+    def names(self) -> list[str]:
+        return [op.name for op in self.operators]
+
+    # -- planning helpers ---------------------------------------------------
+    def _levels(self, src: ChunkSource) -> tuple[list[int], list[float], list[int]]:
+        totals = [src.n_samples]
+        rates = [src.fs]
+        channels = [src.n_channels]
+        for op in self.maps:
+            totals.append(op.out_total(totals[-1]))
+            rates.append(op.out_fs(rates[-1]))
+            channels.append(op.out_channels(channels[-1]))
+            if channels[-1] < 1:
+                raise ConfigError(
+                    f"operator {op.name!r} needs more channels than the "
+                    f"{channels[-2]} available"
+                )
+        return totals, rates, channels
+
+    def _core_targets(
+        self, c0: int, c1: int, totals: list[int], upto: int
+    ) -> list[tuple[int, int]]:
+        """Per-level core (owned) output intervals for source chunk [c0, c1)."""
+        targets = [(c0, c1)]
+        for k in range(upto):
+            lo, hi = self.maps[k].out_core(*targets[-1])
+            targets.append(_clamp(lo, hi, totals[k + 1]))
+        return targets
+
+    def _needed(
+        self, target: tuple[int, int], totals: list[int], upto: int
+    ) -> list[tuple[int, int]]:
+        """Per-level padded input intervals required for ``target`` (level
+        ``upto``), walking ``in_needed`` backwards with clamping at the
+        true record edges."""
+        needs = [target]
+        for k in reversed(range(upto)):
+            lo, hi = self.maps[k].in_needed(*needs[0])
+            needs.insert(0, _clamp(lo, hi, totals[k]))
+        return needs
+
+    def _run_chain(
+        self,
+        block: np.ndarray,
+        interval: tuple[int, int],
+        target: tuple[int, int],
+        totals: list[int],
+        rates: list[float],
+        states: list,
+        channel_lo: int,
+        upto: int,
+        timer: Timer | None,
+    ) -> tuple[np.ndarray, int]:
+        """Run map operators ``[0, upto)`` on a padded block and trim to
+        ``target``.  Returns ``(trimmed, peak_bytes)`` where ``peak_bytes``
+        is the largest in+out footprint any stage held."""
+        a, b = interval
+        cur = block
+        peak = block.nbytes
+        for k in range(upto):
+            op = self.maps[k]
+            ctx = OpContext(
+                start=a,
+                stop=b,
+                total=totals[k],
+                fs=rates[k],
+                channel_lo=channel_lo,
+                state=states[k],
+            )
+            if timer is not None:
+                with timer.phase(op.name):
+                    nxt = op.apply(cur, ctx)
+            else:
+                nxt = op.apply(cur, ctx)
+            lo, hi = _clamp(*op.out_full(a, b), totals[k + 1])
+            if nxt.shape[-1] != hi - lo:
+                raise ConfigError(
+                    f"operator {op.name!r} produced {nxt.shape[-1]} samples "
+                    f"for interval [{lo}, {hi})"
+                )
+            peak = max(peak, cur.nbytes + nxt.nbytes)
+            cur, (a, b) = nxt, (lo, hi)
+        lo, hi = target
+        if not (a <= lo and hi <= b):
+            raise ConfigError(
+                f"chunk plan did not cover target [{lo}, {hi}) with [{a}, {b})"
+            )
+        return cur[..., lo - a : hi - a], peak
+
+    # -- pre-passes ---------------------------------------------------------
+    def _run_prepasses(
+        self,
+        src: ChunkSource,
+        chunk: int,
+        totals: list[int],
+        rates: list[float],
+        states: list,
+        timer: Timer,
+    ) -> None:
+        for j, op in enumerate(self.maps):
+            if not op.needs_prepass:
+                continue
+            acc = op.prepass_init(src.n_channels, totals[j])
+            with timer.phase(f"{op.name}:prepass"):
+                for c0, c1 in iter_intervals(src.n_samples, chunk):
+                    targets = self._core_targets(c0, c1, totals, j)
+                    tgt = targets[j]
+                    if tgt[1] <= tgt[0]:
+                        continue
+                    needs = self._needed(tgt, totals, j)
+                    a, b = needs[0]
+                    block = src.read(a, b)
+                    level, _ = self._run_chain(
+                        block, (a, b), tgt, totals, rates, states, 0, j, None
+                    )
+                    op.prepass_update(acc, level, tgt[0])
+            states[j] = op.prepass_finalize(acc)
+
+    # -- execution ----------------------------------------------------------
+    def run(
+        self,
+        source: object,
+        chunk_samples: int | None = None,
+        threads: int = 1,
+        timer: Timer | None = None,
+        iostats: IOStats | None = None,
+        fs: float | None = None,
+    ) -> PipelineResult:
+        """Stream ``source`` through the chain.
+
+        ``chunk_samples=None`` runs a single chunk covering the whole
+        record (the materialising policy, with exact whole-array stage
+        behaviour); any other value bounds the resident block to roughly
+        ``channels * (chunk + halos) * 8`` bytes.  ``threads`` splits the
+        output channels into ApplyMT-style static blocks per chunk.
+        """
+        src = as_source(source, fs=fs)
+        if src.n_samples < 1 or src.n_channels < 1:
+            raise ConfigError("cannot stream an empty source")
+        if threads < 1:
+            raise ConfigError("threads must be >= 1")
+        timer = timer if timer is not None else Timer()
+        totals, rates, channels = self._levels(src)
+        chunk = src.n_samples if chunk_samples is None else int(chunk_samples)
+        if chunk < 1:
+            raise ConfigError("chunk_samples must be >= 1")
+        chunk = min(chunk, src.n_samples)
+        n_chunks = _ceil_div(src.n_samples, chunk)
+
+        streamed_before = src.bytes_streamed
+        io_before = iostats.full_snapshot() if iostats is not None else None
+
+        n_maps = len(self.maps)
+        states: list = [
+            op.bind(channels[k], totals[k], rates[k])
+            for k, op in enumerate(self.maps)
+        ]
+        if n_chunks > 1:
+            # A single whole-record chunk needs no pre-pass: every
+            # operator sees ctx.whole and computes its global state in
+            # place, exactly as the materialised execution does.
+            self._run_prepasses(src, chunk, totals, rates, states, timer)
+
+        sink_state = (
+            self.sink.init(channels[-1], totals[-1], rates[-1])
+            if self.sink is not None
+            else None
+        )
+        out_rows = channels[-1]
+        use_threads = min(threads, out_rows)
+
+        pieces: list[np.ndarray] = []
+        pieces_bytes = 0
+        peak_resident = 0
+        for c0, c1 in iter_intervals(src.n_samples, chunk):
+            targets = self._core_targets(c0, c1, totals, n_maps)
+            tgt = targets[-1]
+            if tgt[1] <= tgt[0]:
+                continue
+            needs = self._needed(tgt, totals, n_maps)
+            a, b = needs[0]
+            with timer.phase("read"):
+                block = src.read(a, b)
+
+            if use_threads == 1:
+                trimmed, chain_peak = self._run_chain(
+                    block, (a, b), tgt, totals, rates, states, 0, n_maps, timer
+                )
+            else:
+                thread_timers = [Timer() for _ in range(use_threads)]
+                peaks = [0] * use_threads
+
+                def worker(tid: int, lo: int, hi: int) -> np.ndarray:
+                    rlo, rhi = lo, hi
+                    for op in reversed(self.maps):
+                        rlo, rhi = op.in_rows(rlo, rhi)
+                    out, peak = self._run_chain(
+                        block[rlo:rhi],
+                        (a, b),
+                        tgt,
+                        totals,
+                        rates,
+                        states,
+                        rlo,
+                        n_maps,
+                        thread_timers[tid],
+                    )
+                    peaks[tid] = peak
+                    return out
+
+                parts = map_blocks_mt(out_rows, use_threads, worker)
+                trimmed = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
+                for sub in thread_timers:
+                    timer.merge(sub)
+                chain_peak = block.nbytes + sum(
+                    max(0, p - block.nbytes) for p in peaks
+                )
+
+            if self.sink is not None:
+                ctx = OpContext(
+                    start=tgt[0],
+                    stop=tgt[1],
+                    total=totals[-1],
+                    fs=rates[-1],
+                    state=sink_state,
+                )
+                with timer.phase(self.sink.name):
+                    self.sink.consume(sink_state, trimmed, ctx)
+            else:
+                piece = np.ascontiguousarray(trimmed)
+                pieces.append(piece)
+                pieces_bytes += piece.nbytes
+            resident = chain_peak + pieces_bytes
+            if self.sink is not None:
+                resident += self.sink.resident_bytes(sink_state)
+            peak_resident = max(peak_resident, resident)
+
+        if self.sink is not None:
+            with timer.phase(self.sink.name):
+                output: Any = self.sink.finalize(sink_state)
+            output = self._run_post(output, rates[-1], timer, interpreted=False)
+        elif pieces:
+            output = pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=-1)
+        else:
+            output = np.zeros((out_rows, 0))
+        if isinstance(output, np.ndarray):
+            peak_resident = max(peak_resident, output.nbytes)
+
+        profile = PipelineProfile(
+            phases=dict(timer.phases),
+            n_chunks=n_chunks,
+            chunk_samples=chunk,
+            threads=use_threads,
+            bytes_streamed=src.bytes_streamed - streamed_before,
+            bytes_read=(
+                iostats.full_snapshot()["bytes_read"] - io_before["bytes_read"]
+                if io_before is not None
+                else None
+            ),
+            peak_resident_bytes=peak_resident,
+            output_bytes=output.nbytes if isinstance(output, np.ndarray) else 0,
+        )
+        return PipelineResult(output=output, profile=profile)
+
+    def _run_post(
+        self, output: Any, fs: float, timer: Timer, interpreted: bool
+    ) -> Any:
+        for op in self.post:
+            n = output.shape[-1] if isinstance(output, np.ndarray) else 0
+            ctx = OpContext(
+                start=0, stop=n, total=n, fs=fs, interpreted=interpreted
+            )
+            with timer.phase(op.name):
+                output = op.apply(output, ctx)
+        return output
+
+    def stream(
+        self,
+        source: object,
+        chunk_samples: int,
+        timer: Timer | None = None,
+        fs: float | None = None,
+    ) -> Iterator[tuple[tuple[int, int], np.ndarray]]:
+        """Generator form for map-only chains: yields ``((lo, hi), block)``
+        core output intervals in order, holding one chunk at a time."""
+        if self.sink is not None or self.post:
+            raise ConfigError("stream() supports map-only pipelines")
+        src = as_source(source, fs=fs)
+        timer = timer if timer is not None else Timer()
+        totals, rates, _channels = self._levels(src)
+        chunk = min(int(chunk_samples), src.n_samples)
+        if chunk < 1:
+            raise ConfigError("chunk_samples must be >= 1")
+        n_maps = len(self.maps)
+        states: list = [
+            op.bind(c, t, r)
+            for op, c, t, r in zip(
+                self.maps, self._levels(src)[2], totals, rates
+            )
+        ]
+        if _ceil_div(src.n_samples, chunk) > 1:
+            self._run_prepasses(src, chunk, totals, rates, states, timer)
+        for c0, c1 in iter_intervals(src.n_samples, chunk):
+            tgt = self._core_targets(c0, c1, totals, n_maps)[-1]
+            if tgt[1] <= tgt[0]:
+                continue
+            a, b = self._needed(tgt, totals, n_maps)[0]
+            with timer.phase("read"):
+                block = src.read(a, b)
+            trimmed, _ = self._run_chain(
+                block, (a, b), tgt, totals, rates, states, 0, n_maps, timer
+            )
+            yield tgt, trimmed
+
+
+def run_materialized(
+    operators: list,
+    data: np.ndarray,
+    fs: float = 0.0,
+    timer: Timer | None = None,
+    interpreted: bool = False,
+) -> PipelineResult:
+    """The MATLAB-style execution of the same operator graph: one stage at
+    a time over the whole array, every intermediate materialised.
+
+    With ``interpreted=True`` operators run their per-channel interpreted
+    loops (the way MATLAB scripts iterate channels); built-in kernels
+    (FFT) stay vectorised, as MATLAB's do.  Per-stage wall time lands in
+    ``timer`` under the operator names; the profile's peak resident bytes
+    reflect the whole-array intermediates — the Fig. 9 memory story.
+    """
+    pipe = operators if isinstance(operators, StreamPipeline) else StreamPipeline(operators)
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ConfigError("need a 2-D (channels, time) array")
+    timer = timer if timer is not None else Timer()
+    cur = data
+    total = data.shape[1]
+    rate = fs
+    peak = data.nbytes
+    for op in pipe.maps:
+        if op.needs_prepass:
+            acc = op.prepass_init(cur.shape[0], total)
+            op.prepass_update(acc, cur, 0)
+            state = op.prepass_finalize(acc)
+        else:
+            state = op.bind(cur.shape[0], total, rate)
+        ctx = OpContext(
+            start=0,
+            stop=total,
+            total=total,
+            fs=rate,
+            state=state,
+            interpreted=interpreted,
+        )
+        with timer.phase(op.name):
+            nxt = op.apply(cur, ctx)
+        peak = max(peak, cur.nbytes + nxt.nbytes)
+        cur = nxt
+        total = op.out_total(total)
+        rate = op.out_fs(rate)
+    output: Any = cur
+    if pipe.sink is not None:
+        state = pipe.sink.init(cur.shape[0], total, rate)
+        ctx = OpContext(
+            start=0, stop=total, total=total, fs=rate, state=state,
+            interpreted=interpreted,
+        )
+        with timer.phase(pipe.sink.name):
+            pipe.sink.consume(state, cur, ctx)
+            output = pipe.sink.finalize(state)
+        if isinstance(output, np.ndarray):
+            peak = max(peak, cur.nbytes + output.nbytes)
+    output = pipe._run_post(output, rate, timer, interpreted)
+    profile = PipelineProfile(
+        phases=dict(timer.phases),
+        n_chunks=1,
+        chunk_samples=data.shape[1],
+        threads=1,
+        bytes_streamed=data.nbytes,
+        peak_resident_bytes=peak,
+        output_bytes=output.nbytes if isinstance(output, np.ndarray) else 0,
+    )
+    return PipelineResult(output=output, profile=profile)
+
+
+# ---------------------------------------------------------------------------
+# the original tiny stage list (kept for composition and the Fig. 9
+# micro-comparisons)
+# ---------------------------------------------------------------------------
 
 
 @dataclass
@@ -45,17 +729,32 @@ class Pipeline:
                 data = stage.fn(data)
         return data
 
-    def fused(self) -> Callable[[Any], Any]:
-        """A single callable running the whole chain (DASSA's fusion)."""
+    def fused(self) -> Callable[..., Any]:
+        """A single callable running the whole chain (DASSA's fusion).
+
+        The callable accepts an optional ``timer`` and records the same
+        per-stage phases as :meth:`run`, so baseline-vs-fused comparisons
+        time identical stage sets.
+        """
         if not self.stages:
             raise ConfigError("empty pipeline")
 
-        def fused_fn(data: Any) -> Any:
+        def fused_fn(data: Any, timer: Timer | None = None) -> Any:
+            if timer is None:
+                for stage in self.stages:
+                    data = stage.fn(data)
+                return data
             for stage in self.stages:
-                data = stage.fn(data)
+                with timer.phase(stage.name):
+                    data = stage.fn(data)
             return data
 
         return fused_fn
+
+    def to_operators(self) -> list[Operator]:
+        """Lift the stage list into streaming operators (same-geometry,
+        no halo) runnable by :class:`StreamPipeline`."""
+        return [FnOperator(stage.name, stage.fn) for stage in self.stages]
 
     @property
     def names(self) -> list[str]:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.pipeline import OpContext, Operator
 from repro.daslib.moving import moving_average
 from repro.errors import ConfigError
 
@@ -47,6 +48,72 @@ def classic_sta_lta(x: np.ndarray, nsta: int, nlta: int, axis: int = -1) -> np.n
         ratio = np.where(lta > 0, sta / np.where(lta > 0, lta, 1.0), 0.0)
     ratio[..., : nlta - 1] = 0.0
     return np.moveaxis(ratio, -1, axis)
+
+
+class StaLtaOp(Operator):
+    """Classic STA/LTA on the streaming executor.
+
+    The trailing LTA window is pure lookback, so the halo is one-sided:
+    ``nlta - 1`` samples of left context.  Samples whose absolute index
+    is below ``nlta - 1`` are zeroed by *absolute* position, reproducing
+    the whole-array warm-up rule on any chunk — including chunks shorter
+    than ``nlta``, which the whole-array entry point rejects outright.
+    """
+
+    name = "sta_lta"
+
+    def __init__(self, nsta: int, nlta: int):
+        if not (0 < nsta < nlta):
+            raise ConfigError(f"need 0 < nsta ({nsta}) < nlta ({nlta})")
+        self.nsta = int(nsta)
+        self.nlta = int(nlta)
+        self.halo = (self.nlta - 1, 0)
+
+    def apply(self, data: np.ndarray, ctx: OpContext) -> np.ndarray:
+        if ctx.whole and data.shape[-1] >= self.nlta:
+            return classic_sta_lta(data, self.nsta, self.nlta, axis=-1)
+        n = data.shape[-1]
+        energy = data**2
+        cumsum = np.concatenate(
+            [np.zeros(energy.shape[:-1] + (1,)), np.cumsum(energy, axis=-1)],
+            axis=-1,
+        )
+        idx = np.arange(n)
+        sta_lo = np.clip(idx - self.nsta + 1, 0, None)
+        lta_lo = np.clip(idx - self.nlta + 1, 0, None)
+        sta = (cumsum[..., idx + 1] - cumsum[..., sta_lo]) / self.nsta
+        lta = (cumsum[..., idx + 1] - cumsum[..., lta_lo]) / self.nlta
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(lta > 0, sta / np.where(lta > 0, lta, 1.0), 0.0)
+        ratio[..., ctx.start + idx < self.nlta - 1] = 0.0
+        return ratio
+
+
+def streamed_sta_lta(
+    source: object,
+    nsta: int,
+    nlta: int,
+    chunk_samples: int | None = None,
+    threads: int = 1,
+    timer: object = None,
+    iostats: object = None,
+    fs: float | None = None,
+):
+    """STA/LTA ratios over a chunk source.
+
+    Returns a :class:`~repro.core.pipeline.PipelineResult` whose output
+    matches :func:`classic_sta_lta` on the materialised array.
+    """
+    from repro.core.pipeline import StreamPipeline
+
+    return StreamPipeline([StaLtaOp(nsta, nlta)]).run(
+        source,
+        chunk_samples=chunk_samples,
+        threads=threads,
+        timer=timer,
+        iostats=iostats,
+        fs=fs,
+    )
 
 
 def recursive_sta_lta(x: np.ndarray, nsta: int, nlta: int) -> np.ndarray:

@@ -41,14 +41,21 @@ from repro.daslib.butterworth import butter
 from repro.daslib.correlate import abscorr, xcorr, xcorr_freq
 from repro.daslib.detrend import demean, detrend
 from repro.daslib.fft import fft, fftfreq, ifft, irfft, next_fast_len, rfft, rfftfreq
-from repro.daslib.filtfilt import filtfilt
+from repro.daslib.filtfilt import filtfilt, settle_length
 from repro.daslib.interp import interp1
 from repro.daslib.lfilter import lfilter, lfilter_zi
 from repro.daslib.moving import moving_average, sliding_windows
-from repro.daslib.resample import decimate, resample, upfirdn
+from repro.daslib.resample import (
+    decimate,
+    decimate_chunk,
+    design_resample_filter,
+    resample,
+    resample_halo,
+    upfirdn,
+)
 from repro.daslib.spectrogram import band_power, spectrogram, stft
 from repro.daslib.whiten import whiten
-from repro.daslib.window import get_window, taper
+from repro.daslib.window import get_window, taper, tukey_slice
 
 __all__ = [
     # Table II MATLAB-style names
@@ -68,10 +75,14 @@ __all__ = [
     "demean",
     "butter",
     "filtfilt",
+    "settle_length",
     "lfilter",
     "lfilter_zi",
     "resample",
     "decimate",
+    "decimate_chunk",
+    "design_resample_filter",
+    "resample_halo",
     "upfirdn",
     "interp1",
     "fft",
@@ -83,6 +94,7 @@ __all__ = [
     "next_fast_len",
     "get_window",
     "taper",
+    "tukey_slice",
     "whiten",
     "moving_average",
     "sliding_windows",

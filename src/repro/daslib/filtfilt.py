@@ -27,6 +27,37 @@ def _odd_ext(x: np.ndarray, n: int, axis: int = -1) -> np.ndarray:
     return np.moveaxis(out, -1, axis)
 
 
+def settle_length(
+    b: np.ndarray,
+    a: np.ndarray,
+    tol: float = 1e-10,
+    cap: int = 1 << 17,
+) -> int:
+    """Samples after which the filter's impulse response falls below ``tol``.
+
+    Estimated from the slowest pole: ``|h[n]|`` decays like ``r**n`` with
+    ``r`` the largest pole magnitude, so ``n = log(tol) / log(r)``.  Used
+    by the streaming executor to size the overlap (ghost zone) a chunked
+    ``filtfilt`` needs so that chunk edges match whole-array output to
+    within ``tol``.  Returns at least ``3 * max(len(a), len(b))`` (the
+    ``filtfilt`` edge padding) and at most ``cap``.
+    """
+    if not (0.0 < tol < 1.0):
+        raise ValueError("tol must be in (0, 1)")
+    b = np.atleast_1d(np.asarray(b, dtype=np.float64))
+    a = np.atleast_1d(np.asarray(a, dtype=np.float64))
+    floor = 3 * max(len(a), len(b))
+    if len(a) < 2:  # FIR: support is the tap count
+        return max(floor, len(b))
+    radius = float(np.max(np.abs(np.roots(a))))
+    if not np.isfinite(radius) or radius >= 1.0:
+        return cap
+    if radius <= 0.0:
+        return floor
+    settle = int(np.ceil(np.log(tol) / np.log(radius)))
+    return int(min(cap, max(floor, settle)))
+
+
 def filtfilt(
     b: np.ndarray,
     a: np.ndarray,

@@ -117,6 +117,51 @@ def resample(
     return np.moveaxis(sampled, -1, axis)
 
 
+def decimate_chunk(
+    x: np.ndarray,
+    q: int,
+    abs_start: int,
+    half_width: int = 10,
+    beta: float = 5.0,
+    taps: np.ndarray | None = None,
+) -> np.ndarray:
+    """``resample(whole, 1, q)`` restricted to a chunk of the whole series.
+
+    ``x`` holds samples ``[abs_start, abs_start + len)`` of a longer
+    record along the last axis.  Whole-array ``resample(x, 1, q)`` emits
+    one output per absolute input index ``j * q``, each a FIR dot product
+    centred there; this computes exactly those outputs whose centre falls
+    inside the chunk, keeping the global decimation phase regardless of
+    where the chunk starts.  Outputs whose FIR support extends past the
+    chunk edge see zeros there — identical to whole-array behaviour at
+    the true record ends, approximate elsewhere (callers provide
+    ``resample_halo`` samples of overlap and discard the fringe).
+    """
+    if q < 1:
+        raise ValueError("q must be >= 1")
+    if abs_start < 0:
+        raise ValueError("abs_start must be >= 0")
+    x = np.asarray(x, dtype=np.float64)
+    if q == 1:
+        return x.copy()
+    if taps is None:
+        taps = design_resample_filter(1, q, half_width=half_width, beta=beta)
+    half_len = (len(taps) - 1) // 2
+    full = _fft_convolve(x, taps, axis=-1)
+    aligned = full[..., half_len : half_len + x.shape[-1]]
+    phase = (-abs_start) % q
+    return aligned[..., phase::q]
+
+
+def resample_halo(q: int, half_width: int = 10) -> int:
+    """Input samples of context a streamed ``decimate_chunk`` needs per side."""
+    if q < 1:
+        raise ValueError("q must be >= 1")
+    if q == 1:
+        return 0
+    return half_width * q + q
+
+
 def decimate(x: np.ndarray, factor: int, axis: int = -1) -> np.ndarray:
     """Lowpass then keep every ``factor``-th sample."""
     if factor < 1:

@@ -55,6 +55,36 @@ def _tukey(n: int, alpha: float = 0.5) -> np.ndarray:
     return window
 
 
+def tukey_slice(n: int, alpha: float, start: int, stop: int) -> np.ndarray:
+    """Values ``_tukey(n, alpha)[start:stop]`` without building the window.
+
+    Element-for-element identical to slicing the full window (the same
+    expressions are evaluated on the same indices), so streamed taper
+    stages reproduce whole-array tapering exactly while touching only
+    the samples of the current chunk.
+    """
+    if not (0 <= start <= stop <= n):
+        raise ValueError(f"slice [{start}, {stop}) outside window of {n}")
+    if alpha <= 0:
+        return np.ones(stop - start)
+    if alpha >= 1:
+        return _hann(n)[start:stop]
+    if n == 1:
+        return np.ones(stop - start)
+    edge = int(np.floor(alpha * (n - 1) / 2.0))
+    idx = np.arange(start, stop)
+    window = np.ones(stop - start)
+    left = idx <= edge
+    if left.any():
+        m = idx[left].astype(np.float64)
+        window[left] = 0.5 * (1 + np.cos(np.pi * (2.0 * m / (alpha * (n - 1)) - 1)))
+    right = idx >= n - edge - 1
+    if right.any():
+        m = (n - 1 - idx[right]).astype(np.float64)
+        window[right] = 0.5 * (1 + np.cos(np.pi * (2.0 * m / (alpha * (n - 1)) - 1)))
+    return window
+
+
 def get_window(name: str | tuple, n: int) -> np.ndarray:
     """Window by name: hann, hamming, blackman, boxcar, ``("kaiser", beta)``,
     ``("tukey", alpha)``."""

@@ -15,9 +15,21 @@ Components:
   "communication-avoiding" parallel readers (§IV-B, Fig. 5) plus direct
   RCA reads,
 * :mod:`repro.storage.model` — closed-form/DES evaluation of the same
-  read schedules for rank counts too large to thread.
+  read schedules for rank counts too large to thread,
+* :mod:`repro.storage.chunks` — streaming chunk sources feeding the
+  analysis executor time-blocks out of VCA/LAV/arrays.
 """
 
+from repro.storage.chunks import (
+    ArraySource,
+    ChunkSource,
+    DatasetSource,
+    VCASource,
+    as_source,
+    auto_chunk_samples,
+    iter_intervals,
+    open_stream,
+)
 from repro.storage.dasfile import DASFile, read_das_file, write_das_file
 from repro.storage.lav import LAV, open_lav
 from repro.storage.metadata import (
@@ -54,4 +66,12 @@ __all__ = [
     "read_vca_collective_per_file",
     "read_vca_communication_avoiding",
     "read_rca_direct",
+    "ChunkSource",
+    "ArraySource",
+    "DatasetSource",
+    "VCASource",
+    "open_stream",
+    "as_source",
+    "iter_intervals",
+    "auto_chunk_samples",
 ]

@@ -135,6 +135,16 @@ class IOStats:
         with self._lock:
             return {name: getattr(self, name) for name in _BASE_FIELDS + _CACHE_FIELDS}
 
+    def delta(self, before: dict[str, int]) -> dict[str, int]:
+        """Counters accumulated since ``before`` (a :meth:`full_snapshot`).
+
+        Keys absent from ``before`` count from zero, so a plain
+        :meth:`snapshot` works too.  This is how per-run profiles report
+        the I/O of one pipeline execution against a shared accumulator.
+        """
+        now = self.full_snapshot()
+        return {name: now[name] - before.get(name, 0) for name in now}
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         snap = self.full_snapshot()
         return (

@@ -46,6 +46,21 @@ class Timer:
         for name, elapsed in other.phases.items():
             self.phases[name] = self.phases.get(name, 0.0) + elapsed
 
+    def as_dict(self) -> dict[str, float]:
+        """Plain ``{phase: seconds}`` copy (JSON-ready, insertion order)."""
+        return dict(self.phases)
+
+    def report(self, width: int = 24) -> str:
+        """Human-readable per-phase breakdown, longest phase first."""
+        lines = [
+            f"{name:<{width}} {seconds:10.4f} s"
+            for name, seconds in sorted(
+                self.phases.items(), key=lambda item: -item[1]
+            )
+        ]
+        lines.append(f"{'total':<{width}} {self.total:10.4f} s")
+        return "\n".join(lines)
+
 
 class VirtualTimer:
     """A monotonically advancing simulated clock.
