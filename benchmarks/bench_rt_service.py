@@ -1,0 +1,167 @@
+"""Monitoring-service benchmark: ingest throughput and detection latency.
+
+Drip-feeds synthetic per-minute files into a spool and runs the
+:class:`repro.rt.RTService` over it, measuring what a monitoring
+deployment is judged on:
+
+* **ingest throughput** — files/sec and samples/sec through the full
+  read → incremental-pipeline → event-assembly path,
+* **detection latency** — p50/p95 per-file wall time, split per stage,
+* **seam equivalence** — asserts the streamed event log equals one
+  batch run over the concatenated record (event spans and kinds
+  identical, scores within 1e-6), the property that makes the service's
+  output trustworthy at file boundaries.
+
+Records everything in ``BENCH_rt.json``.
+
+Usage::
+
+    python benchmarks/bench_rt_service.py --smoke   # small sizes, CI-friendly
+    python benchmarks/bench_rt_service.py           # default sizes
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.local_similarity import (  # noqa: E402
+    LocalSimilarityConfig,
+    local_similarity_block,
+)
+from repro.daslib import butter, filtfilt  # noqa: E402
+from repro.rt import (  # noqa: E402
+    DetectorConfig,
+    EventPolicy,
+    RTService,
+    ServiceConfig,
+    map_events,
+)
+from repro.synthetic.generator import (  # noqa: E402
+    drip_feed_dataset,
+    fig1b_scene,
+    synthesize_scene,
+)
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+FS = 50.0
+
+
+def run_case(channels: int, minutes: int, spm: int) -> dict:
+    scene = fig1b_scene(
+        n_channels=channels, fs=FS, minutes=minutes, samples_per_minute=spm
+    )
+    similarity = LocalSimilarityConfig(
+        half_window=25, channel_offset=1, half_lag=5, stride=25
+    )
+    detector = DetectorConfig(band=(0.5, 12.0), similarity=similarity)
+    policy = EventPolicy(threshold=0.4, min_fraction=0.25)
+    config = ServiceConfig(
+        poll_interval=0.0, settle_seconds=0.0, stable_polls=1
+    )
+
+    spool = tempfile.mkdtemp(prefix="das-bench-spool-")
+    service = RTService(spool, detector=detector, policy=policy, config=config)
+    t0 = time.perf_counter()
+    for _ in drip_feed_dataset(spool, minutes, scene=scene, samples_per_minute=spm):
+        service.drain()
+    service.flush()
+    wall = time.perf_counter() - t0
+    streamed = service.sink.load()
+
+    # Seam-equivalence check against one batch pass.
+    data = synthesize_scene(scene, minutes, samples_per_minute=spm).astype(
+        np.float64
+    )
+    b, a = butter(4, (0.5, 12.0), "bandpass", fs=FS)
+    sim_map, centers = local_similarity_block(
+        filtfilt(b, a, data, axis=-1), similarity
+    )
+    batch = map_events(
+        sim_map, centers, FS, policy, n_channels=channels, channel_lo=1
+    )
+    spans = lambda events: [(e.j_start, e.j_end, e.event.kind) for e in events]
+    assert spans(streamed) == spans(batch), (
+        f"seam equivalence violated: streamed {spans(streamed)} "
+        f"vs batch {spans(batch)}"
+    )
+    score_drift = max(
+        (
+            abs(got.event.peak_similarity - want.event.peak_similarity)
+            for got, want in zip(streamed, batch)
+        ),
+        default=0.0,
+    )
+    assert score_drift < 1e-6, f"peak similarity drifted by {score_drift}"
+
+    snapshot = service.metrics.snapshot()
+    total = snapshot["stages"].get("total", {})
+    return {
+        "channels": channels,
+        "minutes": minutes,
+        "samples_per_file": spm,
+        "wall_seconds": wall,
+        "files_per_second": minutes / wall,
+        "samples_per_second": minutes * spm / wall,
+        "events": len(streamed),
+        "seam_equivalent": True,
+        "max_score_drift": score_drift,
+        "latency": {
+            "p50_s": total.get("p50_s"),
+            "p95_s": total.get("p95_s"),
+            "stages": snapshot["stages"],
+        },
+        "ingest_lag": snapshot["ingest_lag"],
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small CI sizes")
+    parser.add_argument(
+        "--out",
+        default=os.path.join(REPO_ROOT, "BENCH_rt.json"),
+        help="JSON output path",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        cases = [(48, 4, 600)]
+    else:
+        cases = [(96, 6, 3000), (192, 6, 3000)]
+
+    results = []
+    for channels, minutes, spm in cases:
+        print(f"== {channels} channels, {minutes} files x {spm} samples ==")
+        entry = run_case(channels, minutes, spm)
+        print(
+            f"  throughput : {entry['files_per_second']:.1f} files/s "
+            f"({entry['samples_per_second'] / 1e6:.2f} Msamples/s)"
+        )
+        latency = entry["latency"]
+        print(
+            f"  latency    : p50 {latency['p50_s'] * 1e3:.1f} ms, "
+            f"p95 {latency['p95_s'] * 1e3:.1f} ms per file"
+        )
+        print(
+            f"  events     : {entry['events']}, seam-equivalent to batch "
+            f"(score drift {entry['max_score_drift']:.1e})"
+        )
+        results.append(entry)
+
+    payload = {"benchmark": "rt_service", "cases": results}
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"\nwrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,7 +6,10 @@
 # that a budget-0 cache reproduces uncached behaviour byte-for-byte
 # (BENCH_cache.json).  The pipeline smoke run asserts the streaming
 # chunked executor matches materialized execution to 1e-9 while its peak
-# resident bytes stay strictly below (BENCH_pipeline.json).
+# resident bytes stay strictly below (BENCH_pipeline.json).  The rt
+# smoke run drip-feeds a spool through the monitoring service and
+# asserts its event log is seam-equivalent to one batch run over the
+# concatenated record (BENCH_rt.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,3 +18,4 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 python -m pytest -x -q
 python benchmarks/bench_cache.py --smoke
 python benchmarks/bench_pipeline.py --smoke
+python benchmarks/bench_rt_service.py --smoke

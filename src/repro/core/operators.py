@@ -64,6 +64,7 @@ class DetrendOp(Operator):
 
     name = "detrend"
     needs_prepass = True
+    stream_safe = False  # the fit is a whole-record statistic
 
     def prepass_init(self, n_channels: int, total_in: int) -> dict:
         return {
@@ -113,6 +114,7 @@ class TaperOp(Operator):
     bit for bit."""
 
     name = "taper"
+    stream_safe = False  # the window is evaluated against the final length
 
     def __init__(self, fraction: float):
         if not (0.0 < fraction <= 0.5):

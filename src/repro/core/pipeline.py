@@ -36,6 +36,7 @@ composition and the Fig. 9 micro-comparisons.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
@@ -56,6 +57,7 @@ __all__ = [
     "PipelineProfile",
     "PipelineResult",
     "StreamPipeline",
+    "IncrementalRunner",
     "run_materialized",
     "auto_chunk_samples",
 ]
@@ -134,6 +136,13 @@ class Operator:
     decimate: int = 1
     channel_halo: int = 0
     needs_prepass = False
+    #: An operator is *stream-safe* when its output on any interval depends
+    #: only on the declared input halo — never on the record's final length
+    #: (``ctx.total``) or on whole-record statistics.  Only stream-safe
+    #: operators may run incrementally over an unbounded record
+    #: (:class:`IncrementalRunner`), where the end of the record is not
+    #: known until :meth:`IncrementalRunner.flush`.
+    stream_safe = True
 
     # -- geometry -----------------------------------------------------------
     def out_total(self, total_in: int) -> int:
@@ -620,6 +629,273 @@ class StreamPipeline:
                 block, (a, b), tgt, totals, rates, states, 0, n_maps, timer
             )
             yield tgt, trimmed
+
+    def incremental(self, n_channels: int, fs: float = 0.0) -> "IncrementalRunner":
+        """Carried-state execution over an *unbounded* record.
+
+        Returns an :class:`IncrementalRunner` that accepts the record in
+        arbitrary pieces (acquisition files as they arrive) and emits
+        final-level outputs as soon as their full input halo is buffered,
+        so outputs across piece boundaries equal one batch run over the
+        concatenated record.  Map-only, stream-safe chains only.
+        """
+        return IncrementalRunner(self, n_channels, fs=fs)
+
+
+class IncrementalRunner:
+    """Drives a map-only operator chain across record-piece boundaries.
+
+    The batch :class:`StreamPipeline` knows the record's total length up
+    front and clamps every halo read at both edges.  A monitoring service
+    does not: the record grows one acquisition file at a time and never
+    ends until the acquisition stops.  This runner carries the chain's
+    state across pieces:
+
+    * a **tail buffer** of raw input samples — exactly the left context
+      (filter settle, window lookback) the next emission still needs;
+    * **watermarks** ``seen`` (absolute input samples appended) and
+      ``emitted`` (absolute final-level outputs produced).
+
+    :meth:`push` appends a piece and returns every final-level output
+    interval whose *unclamped* right input need now fits inside the
+    buffered record — outputs near the growing edge are deferred until
+    the next piece supplies their right halo, which is what makes
+    detections at file seams equal a batch run over the concatenated
+    record.  :meth:`flush` declares the record finished: the right edge
+    becomes a true record edge (clamped exactly as batch execution
+    clamps it) and the deferred tail is emitted.
+
+    :meth:`export_state` / :meth:`import_state` round-trip the carried
+    state through JSON for checkpoint/resume: counters travel verbatim
+    while the tail samples — re-readable from the durable acquisition
+    files — are persisted as a SHA-256 digest and verified on import.
+    """
+
+    STATE_VERSION = 1
+
+    def __init__(self, pipeline: StreamPipeline, n_channels: int, fs: float = 0.0):
+        if pipeline.sink is not None or pipeline.post:
+            raise ConfigError("incremental execution supports map-only pipelines")
+        for op in pipeline.maps:
+            if op.needs_prepass or not op.stream_safe:
+                raise ConfigError(
+                    f"operator {op.name!r} is not stream-safe: it depends on "
+                    "whole-record state and cannot run over an unbounded record"
+                )
+        if n_channels < 1:
+            raise ConfigError("n_channels must be >= 1")
+        self._pipe = pipeline
+        self.n_channels = int(n_channels)
+        self.fs = float(fs)
+        self._buf = np.zeros((self.n_channels, 0))
+        self._buf_start = 0
+        self._seen = 0
+        self._emitted = 0
+        self._finished = False
+
+    # -- watermarks ---------------------------------------------------------
+    @property
+    def seen(self) -> int:
+        """Absolute input samples appended so far."""
+        return self._seen
+
+    @property
+    def emitted(self) -> int:
+        """Absolute final-level outputs emitted so far."""
+        return self._emitted
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def pending_samples(self) -> int:
+        """Buffered raw samples awaiting their right halo."""
+        return self._seen - self._buf_start
+
+    # -- planning -----------------------------------------------------------
+    def _levels(self) -> tuple[list[int], list[float], list[int]]:
+        totals = [self._seen]
+        rates = [self.fs]
+        channels = [self.n_channels]
+        for op in self._pipe.maps:
+            totals.append(op.out_total(totals[-1]))
+            rates.append(op.out_fs(rates[-1]))
+            channels.append(op.out_channels(channels[-1]))
+            if channels[-1] < 1:
+                raise ConfigError(
+                    f"operator {op.name!r} needs more channels than the "
+                    f"{channels[-2]} available"
+                )
+        return totals, rates, channels
+
+    def _needed_open(self, target: tuple[int, int]) -> list[tuple[int, int]]:
+        """``in_needed`` composed backwards with the left edge clamped at 0
+        (a true record edge) and the right edge left *open* — the record
+        has not ended, so right-edge clamping would diverge from the
+        eventual batch run."""
+        needs = [target]
+        for op in reversed(self._pipe.maps):
+            lo, hi = op.in_needed(*needs[0])
+            needs.insert(0, (max(lo, 0), hi))
+        return needs
+
+    def _safe_hi(self) -> int:
+        """Largest final-level output index whose full (unclamped) right
+        input context is already buffered."""
+        start = self._emitted
+        lo, hi = start, self._seen  # decimate >= 1 bounds outputs by inputs
+
+        def covered(candidate: int) -> bool:
+            if candidate <= start:
+                return True
+            return self._needed_open((start, candidate))[0][1] <= self._seen
+
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if covered(mid):
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    # -- execution ----------------------------------------------------------
+    def push(
+        self, block: np.ndarray, timer: Timer | None = None
+    ) -> list[tuple[tuple[int, int], np.ndarray]]:
+        """Append a ``(channels, time)`` piece of the record; returns the
+        newly emittable ``((lo, hi), output)`` final-level intervals (in
+        order, tiling the output axis across pushes)."""
+        if self._finished:
+            raise ConfigError("record already flushed; cannot push more samples")
+        block = np.asarray(block, dtype=np.float64)
+        if block.ndim != 2 or block.shape[0] != self.n_channels:
+            raise ConfigError(
+                f"need a ({self.n_channels}, n) block, got {block.shape}"
+            )
+        if block.shape[1]:
+            if self._buf.shape[1]:
+                self._buf = np.concatenate([self._buf, block], axis=1)
+            else:
+                self._buf = block.copy()
+            self._seen += block.shape[1]
+        return self._emit(at_edge=False, timer=timer)
+
+    def flush(
+        self, timer: Timer | None = None
+    ) -> list[tuple[tuple[int, int], np.ndarray]]:
+        """Declare the record finished and emit the deferred tail.
+
+        The right edge is now a true record edge, clamped exactly as the
+        batch runner clamps it, so the total emitted output equals one
+        batch run over the whole concatenated record.
+        """
+        if self._finished:
+            return []
+        self._finished = True
+        return self._emit(at_edge=True, timer=timer)
+
+    def _emit(
+        self, at_edge: bool, timer: Timer | None
+    ) -> list[tuple[tuple[int, int], np.ndarray]]:
+        totals, rates, channels = self._levels()
+        n_maps = len(self._pipe.maps)
+        hi = totals[-1] if at_edge else self._safe_hi()
+        pieces: list[tuple[tuple[int, int], np.ndarray]] = []
+        if hi > self._emitted:
+            target = (self._emitted, hi)
+            if at_edge:
+                needs = self._pipe._needed(target, totals, n_maps)
+            else:
+                needs = self._needed_open(target)
+            a, b = needs[0]
+            if a < self._buf_start:
+                raise ConfigError(
+                    f"carried buffer starts at {self._buf_start} but the next "
+                    f"emission needs samples from {a}"
+                )
+            states = [
+                op.bind(channels[k], totals[k], rates[k])
+                for k, op in enumerate(self._pipe.maps)
+            ]
+            block = self._buf[:, a - self._buf_start : b - self._buf_start]
+            out, _ = self._pipe._run_chain(
+                block, (a, b), target, totals, rates, states, 0, n_maps, timer
+            )
+            pieces.append((target, np.ascontiguousarray(out)))
+            self._emitted = hi
+        self._trim()
+        return pieces
+
+    def _trim(self) -> None:
+        """Drop buffered samples no emission can need again: everything
+        left of the next target's composed left context."""
+        keep = self._needed_open((self._emitted, self._emitted + 1))[0][0]
+        keep = min(max(keep, 0), self._seen)
+        if keep > self._buf_start:
+            self._buf = self._buf[:, keep - self._buf_start :].copy()
+            self._buf_start = keep
+
+    # -- carried-state export/import ---------------------------------------
+    def export_state(self) -> dict:
+        """JSON-safe carried state: watermarks plus a digest of the tail.
+
+        The tail samples themselves are *not* serialised — they are
+        re-readable from the durable acquisition files covering
+        ``[buf_start, seen)`` — only their SHA-256, which
+        :meth:`import_state` verifies after the caller re-reads them.
+        """
+        tail = np.ascontiguousarray(self._buf, dtype=np.float64)
+        return {
+            "version": self.STATE_VERSION,
+            "operators": self._pipe.names,
+            "n_channels": self.n_channels,
+            "fs": self.fs,
+            "seen": self._seen,
+            "emitted": self._emitted,
+            "buf_start": self._buf_start,
+            "tail_samples": int(tail.shape[1]),
+            "tail_sha256": hashlib.sha256(tail.tobytes()).hexdigest(),
+        }
+
+    def import_state(self, payload: dict, tail: np.ndarray) -> None:
+        """Restore carried state exported by :meth:`export_state`.
+
+        ``tail`` is the raw input block covering ``[buf_start, seen)``,
+        re-read from storage by the caller; it is digest-verified so a
+        checkpoint can never silently resume against different samples.
+        """
+        if payload.get("version") != self.STATE_VERSION:
+            raise ConfigError(
+                f"carried-state version {payload.get('version')!r} unsupported"
+            )
+        if payload.get("operators") != self._pipe.names:
+            raise ConfigError(
+                f"checkpoint was taken by chain {payload.get('operators')}, "
+                f"this runner is {self._pipe.names}"
+            )
+        if int(payload["n_channels"]) != self.n_channels:
+            raise ConfigError(
+                f"checkpoint has {payload['n_channels']} channels, "
+                f"runner has {self.n_channels}"
+            )
+        tail = np.ascontiguousarray(np.asarray(tail, dtype=np.float64))
+        seen = int(payload["seen"])
+        buf_start = int(payload["buf_start"])
+        expect = (self.n_channels, seen - buf_start)
+        if tail.ndim != 2 or tail.shape != expect:
+            raise ConfigError(f"tail shape {tail.shape} != expected {expect}")
+        digest = hashlib.sha256(tail.tobytes()).hexdigest()
+        if digest != payload["tail_sha256"]:
+            raise ConfigError(
+                "carried-state digest mismatch: the re-read tail differs "
+                "from the checkpointed samples"
+            )
+        self._buf = tail
+        self._buf_start = buf_start
+        self._seen = seen
+        self._emitted = int(payload["emitted"])
+        self._finished = False
 
 
 def run_materialized(

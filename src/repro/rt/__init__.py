@@ -1,0 +1,54 @@
+"""Real-time DAS monitoring service.
+
+DASSA batch-processes an archive, but its target sensors never stop
+writing: the paper's 2880-file day is one day of a continuous
+acquisition.  This package turns the repo's streaming kernels into a
+long-running service:
+
+* :mod:`repro.rt.ingest` — spool-directory watcher (complete-file
+  heuristics), bounded work queue with backpressure, quarantine;
+* :mod:`repro.rt.scheduler` — drives the operator-graph
+  :class:`~repro.core.pipeline.StreamPipeline` *across file boundaries*
+  via its incremental runner, so detections at file seams equal a batch
+  run over the concatenated record;
+* :mod:`repro.rt.events` — streaming event assembly and a JSONL sink
+  with seam-dedup;
+* :mod:`repro.rt.checkpoint` — atomic JSON checkpoints for
+  kill-and-resume with no missed or duplicated events;
+* :mod:`repro.rt.metrics` — per-stage latency, queue depth, ingest lag;
+* :mod:`repro.rt.service` / :mod:`repro.rt.cli` — the service loop and
+  ``python -m repro.rt watch <spool>``.
+"""
+
+from repro.rt.checkpoint import CheckpointStore, read_sample_range
+from repro.rt.events import (
+    EventAssembler,
+    EventPolicy,
+    EventSink,
+    SeamEvent,
+    map_events,
+)
+from repro.rt.ingest import PendingFile, Quarantine, SpoolWatcher, WorkQueue
+from repro.rt.metrics import LatencyStats, RTMetrics
+from repro.rt.scheduler import DetectorConfig, SeamScheduler
+from repro.rt.service import RTService, ServiceConfig
+
+__all__ = [
+    "CheckpointStore",
+    "read_sample_range",
+    "EventAssembler",
+    "EventPolicy",
+    "EventSink",
+    "SeamEvent",
+    "map_events",
+    "PendingFile",
+    "Quarantine",
+    "SpoolWatcher",
+    "WorkQueue",
+    "LatencyStats",
+    "RTMetrics",
+    "DetectorConfig",
+    "SeamScheduler",
+    "RTService",
+    "ServiceConfig",
+]

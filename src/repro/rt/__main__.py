@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.rt watch <spool>``."""
+
+import sys
+
+from repro.rt.cli import main
+
+sys.exit(main())

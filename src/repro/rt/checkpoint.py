@@ -1,0 +1,101 @@
+"""Atomic JSON checkpoints for kill-and-resume.
+
+A checkpoint is one JSON document: the list of fully-processed files
+(with their sample counts), the seam scheduler's carried state (tail
+digest + watermarks — the raw tail samples are *not* serialised, they
+are re-read from the durable acquisition files on resume), the open
+event run, and the queue position.  Writes go through a temp file and
+``os.replace`` so a kill mid-write leaves the previous checkpoint
+intact, never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.dasfile import DASFile
+
+CHECKPOINT_VERSION = 1
+CHECKPOINT_NAME = ".das_rt_checkpoint.json"
+
+
+class CheckpointStore:
+    """Load/save/clear one atomic JSON checkpoint file."""
+
+    def __init__(self, path: str):
+        self.path = os.fspath(path)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def save(self, payload: dict) -> None:
+        """Atomically persist ``payload`` (version stamp added here)."""
+        document = {"version": CHECKPOINT_VERSION}
+        document.update(payload)
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def load(self) -> dict | None:
+        """The last checkpoint, or ``None`` when none was ever taken."""
+        if not os.path.exists(self.path):
+            return None
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StorageError(f"unreadable checkpoint {self.path}: {exc}")
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise StorageError(
+                f"checkpoint version {payload.get('version')!r} unsupported"
+            )
+        return payload
+
+    def clear(self) -> None:
+        if os.path.exists(self.path):
+            os.remove(self.path)
+
+
+def read_sample_range(
+    files: list[tuple[str, int]], lo: int, hi: int
+) -> np.ndarray:
+    """Re-read raw samples ``[lo, hi)`` of the concatenated record.
+
+    ``files`` lists ``(path, n_samples)`` in record order — the
+    checkpoint's ``files_done``.  Only the overlapping slice of each
+    file is read (partial reads through :class:`DASFile`), which is how a
+    resume rebuilds the carried tail without re-reading whole files.
+    """
+    if lo < 0 or hi < lo:
+        raise StorageError(f"bad sample range [{lo}, {hi})")
+    pieces: list[np.ndarray] = []
+    offset = 0
+    for path, n_samples in files:
+        n_samples = int(n_samples)
+        file_lo, file_hi = offset, offset + n_samples
+        offset = file_hi
+        if file_hi <= lo or file_lo >= hi:
+            continue
+        a = max(lo, file_lo) - file_lo
+        b = min(hi, file_hi) - file_lo
+        with DASFile(path) as handle:
+            pieces.append(np.asarray(handle.data[:, a:b], dtype=np.float64))
+    if offset < hi:
+        raise StorageError(
+            f"checkpointed files cover {offset} samples but the carried "
+            f"tail needs [{lo}, {hi})"
+        )
+    if not pieces:
+        n_channels = 0
+        if files:
+            with DASFile(files[0][0]) as handle:
+                n_channels = handle.data.shape[0]
+        return np.zeros((n_channels, 0))
+    return np.concatenate(pieces, axis=1)

@@ -1,0 +1,202 @@
+"""``python -m repro.rt`` — the monitoring service's command line.
+
+``watch`` runs the service loop over a spool directory until SIGTERM /
+SIGINT (checkpointing on the way out, so the next ``watch`` resumes) or,
+with ``--drain``, until the spool is quiet; ``status`` prints the event
+log and quarantine of a spool without running anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+
+from repro.core.local_similarity import LocalSimilarityConfig
+from repro.errors import ReproError
+from repro.rt.events import EventPolicy, EventSink
+from repro.rt.ingest import Quarantine
+from repro.rt.scheduler import DETECTORS, DetectorConfig
+from repro.rt.service import EVENTS_NAME, RTService, ServiceConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.rt",
+        description="Real-time DAS monitoring over a spool directory.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    watch = sub.add_parser("watch", help="run the monitoring service")
+    watch.add_argument("spool", help="directory acquisition files land in")
+    watch.add_argument(
+        "--drain",
+        action="store_true",
+        help="process what is there, flush the record, and exit",
+    )
+    watch.add_argument(
+        "--max-ticks", type=int, default=None, help="stop after N polls"
+    )
+    watch.add_argument("--poll", type=float, default=1.0, help="poll interval [s]")
+    watch.add_argument(
+        "--settle", type=float, default=1.0, help="mtime settle time [s]"
+    )
+    watch.add_argument(
+        "--stable-polls",
+        type=int,
+        default=2,
+        help="scans a file's size must hold still",
+    )
+    watch.add_argument("--queue-capacity", type=int, default=64)
+    watch.add_argument("--max-retries", type=int, default=3)
+    watch.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="files between checkpoints (0 disables checkpointing)",
+    )
+    watch.add_argument("--events", default=None, help="event log path (JSONL)")
+    watch.add_argument(
+        "--detector", choices=DETECTORS, default="local_similarity"
+    )
+    watch.add_argument(
+        "--band",
+        type=float,
+        nargs=2,
+        default=(0.5, 12.0),
+        metavar=("LO", "HI"),
+        help="bandpass corner frequencies [Hz]",
+    )
+    watch.add_argument(
+        "--no-band", action="store_true", help="feed the detector raw samples"
+    )
+    watch.add_argument("--half-window", type=int, default=25, help="M")
+    watch.add_argument("--channel-offset", type=int, default=1, help="K")
+    watch.add_argument("--half-lag", type=int, default=5, help="L")
+    watch.add_argument("--stride", type=int, default=25)
+    watch.add_argument("--nsta", type=int, default=25)
+    watch.add_argument("--nlta", type=int, default=250)
+    watch.add_argument("--threshold", type=float, default=0.5)
+    watch.add_argument("--min-fraction", type=float, default=0.3)
+    watch.add_argument("--quiet", action="store_true")
+
+    status = sub.add_parser("status", help="inspect a spool's log/quarantine")
+    status.add_argument("spool")
+    status.add_argument("--events", default=None)
+    return parser
+
+
+def _service_from_args(args: argparse.Namespace) -> RTService:
+    detector = DetectorConfig(
+        detector=args.detector,
+        band=None if args.no_band else tuple(args.band),
+        similarity=LocalSimilarityConfig(
+            half_window=args.half_window,
+            channel_offset=args.channel_offset,
+            half_lag=args.half_lag,
+            stride=args.stride,
+        ),
+        nsta=args.nsta,
+        nlta=args.nlta,
+    )
+    policy = EventPolicy(
+        threshold=args.threshold, min_fraction=args.min_fraction
+    )
+    config = ServiceConfig(
+        poll_interval=args.poll,
+        settle_seconds=args.settle,
+        stable_polls=args.stable_polls,
+        queue_capacity=args.queue_capacity,
+        max_retries=args.max_retries,
+        checkpoint_every=args.checkpoint_every,
+    )
+    on_event = None
+    if not args.quiet:
+
+        def on_event(seam_event):
+            event = seam_event.event
+            print(
+                f"event #{event.label} {event.kind}: "
+                f"channels [{event.channel_lo}, {event.channel_hi}]  "
+                f"t [{event.t_start:.2f}, {event.t_end:.2f}] s  "
+                f"peak {event.peak_similarity:.3f}",
+                flush=True,
+            )
+
+    return RTService(
+        args.spool,
+        detector=detector,
+        policy=policy,
+        config=config,
+        events_path=args.events,
+        on_event=on_event,
+    )
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    service = _service_from_args(args)
+    stopping = {"flag": False}
+
+    def request_stop(signum, frame):
+        stopping["flag"] = True
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, request_stop)
+        except (ValueError, OSError):
+            pass  # not the main thread / unsupported platform
+    try:
+        if args.drain:
+            service.drain()
+            service.flush()
+        else:
+            service.run(
+                stop_check=lambda: stopping["flag"], max_ticks=args.max_ticks
+            )
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    if not args.quiet:
+        print(service.metrics.report())
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    events_path = (
+        args.events
+        if args.events is not None
+        else os.path.join(args.spool, EVENTS_NAME)
+    )
+    sink = EventSink(events_path)
+    events = sink.load()
+    quarantine = Quarantine(args.spool)
+    print(
+        json.dumps(
+            {
+                "spool": args.spool,
+                "events": len(events),
+                "kinds": sorted({e.event.kind for e in events}),
+                "quarantined": sorted(quarantine.reasons),
+            },
+            indent=2,
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "watch":
+            return cmd_watch(args)
+        return cmd_status(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

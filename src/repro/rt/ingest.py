@@ -1,0 +1,191 @@
+"""Spool-directory ingest: complete-file detection, work queue, quarantine.
+
+An acquisition system writes per-minute files *in place*, so a file
+that merely exists in the spool is not necessarily finished.  The
+watcher admits a file only once its size has held still across
+consecutive scans and its mtime has settled; files that still fail to
+parse are retried a bounded number of times and then quarantined — the
+service records why and keeps going, because a monitoring service that
+crashes on one truncated file misses every event after it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+QUARANTINE_NAME = ".das_quarantine.jsonl"
+
+
+@dataclass
+class PendingFile:
+    """A spool file seen but not yet admitted as complete."""
+
+    size: int
+    mtime: float
+    stable_polls: int
+
+
+class SpoolWatcher:
+    """Detects *complete* new DAS files in a spool directory.
+
+    A file is ready when its size has been identical for
+    ``stable_polls`` consecutive :meth:`scan` calls **and** its mtime is
+    at least ``settle_seconds`` in the past — the two heuristics cover
+    both slow writers (size still growing) and fast writers caught
+    mid-``close``.  Each path is announced exactly once; use
+    :meth:`mark_known` on resume so already-processed files stay silent.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        settle_seconds: float = 1.0,
+        stable_polls: int = 2,
+        suffix: str = ".h5",
+        clock=time.time,
+    ):
+        if stable_polls < 1:
+            raise ConfigError("stable_polls must be >= 1")
+        if settle_seconds < 0:
+            raise ConfigError("settle_seconds must be >= 0")
+        self.directory = os.fspath(directory)
+        self.settle_seconds = float(settle_seconds)
+        self.stable_polls = int(stable_polls)
+        self.suffix = suffix
+        self.clock = clock
+        self._pending: dict[str, PendingFile] = {}
+        self._announced: set[str] = set()
+
+    def mark_known(self, paths) -> None:
+        """Suppress announcements for already-processed paths (resume)."""
+        self._announced.update(os.fspath(p) for p in paths)
+
+    @property
+    def pending(self) -> int:
+        """Files seen but not yet admitted as complete."""
+        return len(self._pending)
+
+    def scan(self) -> list[str]:
+        """One poll of the spool; returns newly-complete paths in
+        filename (= acquisition timestamp) order."""
+        try:
+            names = sorted(os.listdir(self.directory))
+        except FileNotFoundError:
+            return []
+        now = self.clock()
+        ready: list[str] = []
+        seen_paths: set[str] = set()
+        for name in names:
+            if not name.endswith(self.suffix) or name.startswith("."):
+                continue
+            path = os.path.join(self.directory, name)
+            if path in self._announced:
+                continue
+            seen_paths.add(path)
+            try:
+                st = os.stat(path)
+            except OSError:
+                self._pending.pop(path, None)
+                continue
+            rec = self._pending.get(path)
+            if rec is None or rec.size != st.st_size or rec.mtime != st.st_mtime:
+                self._pending[path] = PendingFile(st.st_size, st.st_mtime, 1)
+                rec = self._pending[path]
+            else:
+                rec.stable_polls += 1
+            if (
+                rec.stable_polls >= self.stable_polls
+                and now - st.st_mtime >= self.settle_seconds
+            ):
+                ready.append(path)
+        for path in list(self._pending):
+            if path not in seen_paths:
+                del self._pending[path]  # vanished while pending
+        for path in ready:
+            self._announced.add(path)
+            self._pending.pop(path, None)
+        return ready
+
+
+class WorkQueue:
+    """Bounded FIFO of file paths with backpressure accounting.
+
+    :meth:`offer` refuses items beyond ``capacity`` instead of growing
+    without bound — the caller keeps refused paths in its overflow list
+    and re-offers next tick, so a slow pipeline throttles ingest rather
+    than exhausting memory.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ConfigError("queue capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._items: deque[str] = deque()
+        self.rejected = 0
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def offer(self, item: str) -> bool:
+        """Enqueue; returns ``False`` (and counts the rejection) when full."""
+        if len(self._items) >= self.capacity:
+            self.rejected += 1
+            return False
+        self._items.append(item)
+        self.peak_depth = max(self.peak_depth, len(self._items))
+        return True
+
+    def pop(self) -> str | None:
+        """Dequeue the oldest item, or ``None`` when empty."""
+        return self._items.popleft() if self._items else None
+
+    def items(self) -> list[str]:
+        """Snapshot of queued paths (for checkpoints and status)."""
+        return list(self._items)
+
+
+class Quarantine:
+    """Append-only record of files the service gave up on.
+
+    Each entry is one JSONL line in ``<spool>/.das_quarantine.jsonl``
+    (``name``, ``reason``, ``attempts``); quarantined names are loaded
+    back on restart so a poison file is never retried across runs.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = os.fspath(directory)
+        self.path = os.path.join(self.directory, QUARANTINE_NAME)
+        self.reasons: dict[str, str] = {}
+        if os.path.exists(self.path):
+            with open(self.path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    entry = json.loads(line)
+                    self.reasons[entry["name"]] = entry.get("reason", "")
+
+    def __len__(self) -> int:
+        return len(self.reasons)
+
+    def __contains__(self, path: str) -> bool:
+        return os.path.basename(os.fspath(path)) in self.reasons
+
+    def paths(self) -> list[str]:
+        """Full spool paths of every quarantined name."""
+        return [os.path.join(self.directory, name) for name in self.reasons]
+
+    def add(self, path: str, reason: str, attempts: int) -> None:
+        """Record one given-up file with the failure that condemned it."""
+        name = os.path.basename(os.fspath(path))
+        self.reasons[name] = reason
+        entry = {"name": name, "reason": reason, "attempts": int(attempts)}
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry) + "\n")

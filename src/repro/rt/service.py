@@ -1,0 +1,386 @@
+"""The monitoring service: watcher → queue → seam scheduler → event log.
+
+One :meth:`RTService.tick` is one poll of the spool plus processing of
+everything queued: each complete file is read, pushed through the
+incremental detector chain (carried state threading the halo across the
+file seam), the emitted columns are assembled into events, and new
+events are appended to the JSONL log and the storage catalog is
+refreshed.  Failures never stop the loop — a file that cannot be read
+is retried a bounded number of times and then quarantined with its
+reason, and the service moves on to the next file.
+
+A checkpoint is taken after every ``checkpoint_every`` processed files
+(and on :meth:`close`); constructing the service over a spool with a
+checkpoint resumes from it — the carried tail is re-read from the
+processed files and digest-verified, the event sink dedups anything
+that was finalised between the checkpoint and the kill, so the resumed
+log equals an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, ReproError
+from repro.rt.checkpoint import CHECKPOINT_NAME, CheckpointStore, read_sample_range
+from repro.rt.events import EventAssembler, EventPolicy, EventSink
+from repro.rt.ingest import Quarantine, SpoolWatcher, WorkQueue
+from repro.rt.metrics import RTMetrics
+from repro.rt.scheduler import DetectorConfig, SeamScheduler
+from repro.storage.catalog import Catalog
+from repro.storage.dasfile import read_das_file
+from repro.storage.metadata import parse_timestamp, timestamp_add_seconds
+
+EVENTS_NAME = "events.jsonl"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Loop behaviour knobs (detection itself lives in DetectorConfig)."""
+
+    poll_interval: float = 1.0
+    settle_seconds: float = 1.0
+    stable_polls: int = 2
+    queue_capacity: int = 64
+    max_retries: int = 3
+    checkpoint_every: int = 1  # processed files between checkpoints; 0 = off
+    stamp_tolerance_seconds: float = 1.0
+    update_catalog: bool = True
+
+    def __post_init__(self) -> None:
+        if self.poll_interval < 0:
+            raise ConfigError("poll_interval must be >= 0")
+        if self.max_retries < 1:
+            raise ConfigError("max_retries must be >= 1")
+        if self.checkpoint_every < 0:
+            raise ConfigError("checkpoint_every must be >= 0")
+        if self.stamp_tolerance_seconds < 0:
+            raise ConfigError("stamp_tolerance_seconds must be >= 0")
+
+
+class RTService:
+    """A continuously-running detector over a spool directory."""
+
+    def __init__(
+        self,
+        spool: str,
+        detector: DetectorConfig | None = None,
+        policy: EventPolicy | None = None,
+        config: ServiceConfig | None = None,
+        events_path: str | None = None,
+        checkpoint_path: str | None = None,
+        clock=time.time,
+        on_event=None,
+    ):
+        self.spool = os.fspath(spool)
+        self.detector = detector if detector is not None else DetectorConfig()
+        self.policy = policy if policy is not None else EventPolicy()
+        self.config = config if config is not None else ServiceConfig()
+        self.clock = clock
+        self.on_event = on_event
+        self.metrics = RTMetrics()
+        self.watcher = SpoolWatcher(
+            self.spool,
+            settle_seconds=self.config.settle_seconds,
+            stable_polls=self.config.stable_polls,
+            clock=clock,
+        )
+        self.queue = WorkQueue(self.config.queue_capacity)
+        self.quarantine = Quarantine(self.spool)
+        self.scheduler = SeamScheduler(self.detector)
+        self.sink = EventSink(
+            events_path
+            if events_path is not None
+            else os.path.join(self.spool, EVENTS_NAME)
+        )
+        self.checkpoints = CheckpointStore(
+            checkpoint_path
+            if checkpoint_path is not None
+            else os.path.join(self.spool, CHECKPOINT_NAME)
+        )
+        self.assembler: EventAssembler | None = None
+        self.files_done: list[tuple[str, int]] = []
+        self._attempts: dict[str, int] = {}
+        self._overflow: list[str] = []
+        self._record: str = ""  # base timestamp naming the current record
+        self._expected_stamp: str | None = None
+        self._since_checkpoint = 0
+        self.catalog: Catalog | None = None
+        self.watcher.mark_known(self.quarantine.paths())
+        payload = self.checkpoints.load()
+        if payload is not None:
+            self._resume(payload)
+
+    # -- resume -------------------------------------------------------------
+    def _resume(self, payload: dict) -> None:
+        """Rebuild carried state from a checkpoint (tail digest-verified)."""
+        self.files_done = [
+            (str(name), int(n)) for name, n in payload.get("files_done", [])
+        ]
+        self._record = str(payload.get("record", ""))
+        self._expected_stamp = payload.get("expected_stamp")
+        self._attempts = {
+            str(name): int(n) for name, n in payload.get("attempts", {}).items()
+        }
+        self.watcher.mark_known(self._done_paths())
+        runner_state = payload.get("runner")
+        if runner_state is not None:
+            lo = int(runner_state["buf_start"])
+            hi = int(runner_state["seen"])
+            tail = read_sample_range(
+                [(path, n) for path, n in self._file_spans()], lo, hi
+            )
+            self.scheduler.import_state(runner_state, tail)
+        assembler_state = payload.get("assembler")
+        if assembler_state is not None:
+            self._ensure_assembler()
+            self.assembler.import_state(assembler_state)
+
+    def _done_paths(self) -> list[str]:
+        return [os.path.join(self.spool, name) for name, _ in self.files_done]
+
+    def _file_spans(self) -> list[tuple[str, int]]:
+        return [
+            (os.path.join(self.spool, name), n) for name, n in self.files_done
+        ]
+
+    # -- event assembly -----------------------------------------------------
+    def _ensure_assembler(self) -> None:
+        if self.assembler is not None:
+            return
+        if self.scheduler.fs is None:
+            raise ConfigError("assembler needs the scheduler's geometry first")
+        self.assembler = EventAssembler(
+            self.policy,
+            self.scheduler.fs,
+            self.scheduler.n_channels,
+            channel_lo=self.detector.channel_lo,
+        )
+
+    def _assemble(self, pieces) -> list:
+        """Feed emitted column intervals to the assembler; returns the
+        events newly written to the log."""
+        if not pieces:
+            return []
+        self._ensure_assembler()
+        events = []
+        for (j_lo, j_hi), block in pieces:
+            centers = self.detector.centers(j_lo, j_hi)
+            events.extend(self.assembler.feed(j_lo, centers, block))
+            self.metrics.columns_out += j_hi - j_lo
+        written = self.sink.emit(events, record=self._record)
+        self.metrics.events_emitted += len(written)
+        if self.on_event is not None:
+            for seam_event in written:
+                self.on_event(seam_event)
+        return written
+
+    # -- record lifecycle ---------------------------------------------------
+    def _finalize_record(self) -> list:
+        """Flush the live record (gap or shutdown): clamp the right edge,
+        emit the deferred tail, close the open event run."""
+        written = []
+        if self.scheduler.started:
+            written.extend(self._assemble(self.scheduler.flush()))
+            if self.assembler is not None:
+                tail_events = self.assembler.flush()
+                emitted = self.sink.emit(tail_events, record=self._record)
+                self.metrics.events_emitted += len(emitted)
+                if self.on_event is not None:
+                    for seam_event in emitted:
+                        self.on_event(seam_event)
+                written.extend(emitted)
+            self.metrics.records_finished += 1
+        self.scheduler.reset()
+        self.assembler = None
+        self.files_done = []
+        self._record = ""
+        self._expected_stamp = None
+        return written
+
+    def flush(self) -> list:
+        """Public record finalisation (drain/shutdown); checkpoint after."""
+        written = self._finalize_record()
+        self.save_checkpoint()
+        return written
+
+    # -- per-file processing ------------------------------------------------
+    def _fail(self, path: str, reason: str, permanent: bool) -> None:
+        attempts = self._attempts.get(path, 0) + 1
+        self._attempts[path] = attempts
+        if permanent or attempts >= self.config.max_retries:
+            self.quarantine.add(path, reason, attempts)
+            self.metrics.files_quarantined += 1
+            self._attempts.pop(path, None)
+        else:
+            self._overflow.append(path)  # retry on a later tick
+            self.metrics.files_requeued += 1
+
+    def _process(self, path: str) -> bool:
+        """One file end to end; ``True`` when it was fully consumed."""
+        t0 = self.metrics.clock()
+        try:
+            mtime = os.stat(path).st_mtime
+            read_t0 = self.metrics.clock()
+            data, meta = read_das_file(path)
+            self.metrics.stage("read").record(self.metrics.clock() - read_t0)
+            if data.size == 0:
+                raise ConfigError("file holds no samples")
+        except FileNotFoundError:
+            self._fail(path, "file vanished before it could be read", True)
+            return False
+        except (ReproError, OSError) as exc:
+            self._fail(path, str(exc), False)
+            return False
+
+        stamp = meta.timestamp
+        expected = self._expected_stamp
+        if expected is not None and stamp:
+            try:
+                gap = abs(
+                    (parse_timestamp(stamp) - parse_timestamp(expected))
+                    .total_seconds()
+                )
+            except ReproError:
+                gap = None
+            if gap is not None and gap > self.config.stamp_tolerance_seconds:
+                # Acquisition gap: the record ended; start a new one.
+                self._finalize_record()
+
+        try:
+            pipe_t0 = self.metrics.clock()
+            pieces = self.scheduler.process(data, meta.sampling_frequency)
+            self.metrics.stage("pipeline").record(
+                self.metrics.clock() - pipe_t0
+            )
+        except ReproError as exc:
+            self._fail(path, str(exc), True)  # geometry mismatch is permanent
+            return False
+
+        if not self._record:
+            self._record = stamp or os.path.basename(path)
+        events_t0 = self.metrics.clock()
+        self._assemble(pieces)
+        self.metrics.stage("events").record(self.metrics.clock() - events_t0)
+
+        n_samples = data.shape[1]
+        if meta.sampling_frequency > 0 and stamp:
+            self._expected_stamp = timestamp_add_seconds(
+                stamp, n_samples / meta.sampling_frequency
+            )
+        self.files_done.append((os.path.basename(path), int(n_samples)))
+        self._attempts.pop(path, None)
+        self.metrics.files_ingested += 1
+        self.metrics.samples_in += int(n_samples)
+        self.metrics.ingest_lag.record(max(self.clock() - mtime, 0.0))
+        self.metrics.stage("total").record(self.metrics.clock() - t0)
+        if self.config.update_catalog:
+            self._refresh_catalog()
+        return True
+
+    def _refresh_catalog(self) -> None:
+        try:
+            if self.catalog is None:
+                self.catalog = Catalog.open(self.spool)
+            else:
+                self.catalog.refresh()
+                self.catalog.save()
+        except ReproError:
+            self.catalog = None  # the catalog must never stall detection
+
+    # -- the loop -----------------------------------------------------------
+    def tick(self) -> int:
+        """One poll + drain of the queue; returns files fully processed."""
+        self.metrics.ticks += 1
+        incoming = self._overflow
+        self._overflow = []
+        incoming.extend(
+            path
+            for path in self.watcher.scan()
+            if path not in self.quarantine
+        )
+        for path in incoming:
+            if not self.queue.offer(path):
+                self._overflow.append(path)
+        self.metrics.backlog = len(self._overflow)
+        processed = 0
+        while True:
+            path = self.queue.pop()
+            if path is None:
+                break
+            if self._process(path):
+                processed += 1
+        self.metrics.queue_depth = len(self.queue)
+        self._since_checkpoint += processed
+        if (
+            self.config.checkpoint_every
+            and self._since_checkpoint >= self.config.checkpoint_every
+        ):
+            self.save_checkpoint()
+        return processed
+
+    def drain(self, max_ticks: int = 1000) -> int:
+        """Tick until the spool is quiet (tests and ``--drain`` mode)."""
+        total = 0
+        for _ in range(max_ticks):
+            total += self.tick()
+            # Probe with a real scan: anything it announces is kept (an
+            # announcement is one-shot, so a discarded result would lose
+            # the file forever).
+            fresh = [
+                path
+                for path in self.watcher.scan()
+                if path not in self.quarantine
+            ]
+            self._overflow.extend(fresh)
+            if (
+                not fresh
+                and not self._overflow
+                and not len(self.queue)
+                and not self.watcher.pending
+            ):
+                break
+        return total
+
+    def run(self, stop_check=None, max_ticks: int | None = None) -> None:
+        """The blocking service loop (the CLI's engine)."""
+        ticks = 0
+        while True:
+            if stop_check is not None and stop_check():
+                break
+            if max_ticks is not None and ticks >= max_ticks:
+                break
+            processed = self.tick()
+            ticks += 1
+            if not processed and self.config.poll_interval > 0:
+                time.sleep(self.config.poll_interval)
+        self.save_checkpoint()
+
+    # -- checkpointing ------------------------------------------------------
+    def save_checkpoint(self) -> None:
+        """Atomically persist everything a resume needs."""
+        if not self.config.checkpoint_every:
+            return
+        payload = {
+            "files_done": [[name, n] for name, n in self.files_done],
+            "record": self._record,
+            "expected_stamp": self._expected_stamp,
+            "runner": self.scheduler.export_state(),
+            "assembler": (
+                self.assembler.export_state()
+                if self.assembler is not None
+                else None
+            ),
+            "attempts": dict(self._attempts),
+            "queue": [os.path.basename(p) for p in self.queue.items()],
+            "events_logged": self.sink.count,
+        }
+        self.checkpoints.save(payload)
+        self._since_checkpoint = 0
+
+    def close(self) -> None:
+        """Checkpoint without finalising the record (a paused acquisition
+        resumes mid-record; use :meth:`flush` for a true end-of-record)."""
+        self.save_checkpoint()

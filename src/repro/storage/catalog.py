@@ -114,8 +114,17 @@ class Catalog:
             return 0.0
 
     def stale(self) -> bool:
-        """True if the directory changed since the index was written."""
-        return self._dir_mtime() > self.last_mtime
+        """True if the directory may have changed since the index was
+        written.
+
+        ``>=`` rather than ``>``: directory mtimes have finite
+        resolution, so a file created in the *same* tick the index was
+        written leaves ``_dir_mtime() == last_mtime`` — strict comparison
+        would skip the rescan and the file would stay invisible until an
+        unrelated change bumped the mtime.  Equality therefore counts as
+        possibly-stale; the rescan is cheap and idempotent.
+        """
+        return self._dir_mtime() >= self.last_mtime
 
     def refresh(self) -> int:
         """Re-scan the directory, keeping known entries; returns the number
@@ -126,6 +135,8 @@ class Catalog:
         changes = 0
         fresh_paths = set()
         for entry in fresh:
+            if entry.path in fresh_paths:
+                continue  # one entry per path, whatever the scan yields
             fresh_paths.add(entry.path)
             old = known.get(entry.path)
             if old is not None:

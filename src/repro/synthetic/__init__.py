@@ -21,6 +21,7 @@ structure).
 from repro.synthetic.events import earthquake_signal, ricker, vehicle_signal
 from repro.synthetic.generator import (
     SceneSpec,
+    drip_feed_dataset,
     fig1b_scene,
     generate_dataset,
     synthesize_scene,
@@ -37,4 +38,5 @@ __all__ = [
     "fig1b_scene",
     "synthesize_scene",
     "generate_dataset",
+    "drip_feed_dataset",
 ]

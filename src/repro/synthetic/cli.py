@@ -12,7 +12,11 @@ import sys
 from typing import Sequence
 
 from repro.errors import ReproError
-from repro.synthetic.generator import fig1b_scene, generate_dataset
+from repro.synthetic.generator import (
+    drip_feed_dataset,
+    fig1b_scene,
+    generate_dataset,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,6 +39,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="write per-channel Measurement/<i> metadata groups",
     )
+    parser.add_argument(
+        "--drip",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="drip-feed mode: atomically land one file every SECONDS "
+        "(emulates a live acquisition for `python -m repro.rt watch`)",
+    )
     return parser
 
 
@@ -48,16 +60,28 @@ def main(argv: Sequence[str] | None = None) -> int:
             samples_per_minute=args.spm,
             seed=args.seed,
         )
-        paths = generate_dataset(
-            args.output,
-            args.minutes,
-            scene=scene,
-            samples_per_minute=args.spm,
-            start_timestamp=args.start,
-            channel_groups=args.channel_groups,
-        )
-        for path in paths:
-            print(path)
+        if args.drip is not None:
+            for path in drip_feed_dataset(
+                args.output,
+                args.minutes,
+                scene=scene,
+                samples_per_minute=args.spm,
+                start_timestamp=args.start,
+                channel_groups=args.channel_groups,
+                interval_seconds=args.drip,
+            ):
+                print(path, flush=True)
+        else:
+            paths = generate_dataset(
+                args.output,
+                args.minutes,
+                scene=scene,
+                samples_per_minute=args.spm,
+                start_timestamp=args.start,
+                channel_groups=args.channel_groups,
+            )
+            for path in paths:
+                print(path)
     except ReproError as exc:
         print(f"das_generate: error: {exc}", file=sys.stderr)
         return 2

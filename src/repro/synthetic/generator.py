@@ -176,3 +176,56 @@ def generate_dataset(
         paths.append(path)
         stamp = timestamp_add_seconds(stamp, spm / scene.fs)
     return paths
+
+
+def drip_feed_dataset(
+    directory: str | os.PathLike,
+    minutes: int,
+    scene: SceneSpec | None = None,
+    samples_per_minute: int | None = None,
+    start_timestamp: str = "170620100545",
+    prefix: str = "westSac",
+    channel_groups: bool = False,
+    interval_seconds: float = 0.0,
+    sleep=None,
+):
+    """Yield per-minute file paths one at a time, like a live acquisition.
+
+    The drip-feed mode for exercising the monitoring service: each file
+    is written to a temp name and atomically renamed into place (a
+    watcher never observes a half-written ``.h5``), then the generator
+    yields its path; with ``interval_seconds > 0`` it sleeps between
+    files to emulate the acquisition cadence.  ``sleep`` is injectable
+    so tests can drip without waiting.
+    """
+    import time as _time
+
+    if scene is None:
+        scene = fig1b_scene(minutes=minutes, samples_per_minute=samples_per_minute)
+    if interval_seconds < 0:
+        raise ConfigError("interval_seconds must be >= 0")
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    spm = samples_per_minute or int(60 * scene.fs)
+    data = synthesize_scene(scene, minutes, samples_per_minute=spm)
+    sleep = sleep if sleep is not None else _time.sleep
+
+    stamp = start_timestamp
+    for minute in range(minutes):
+        block = data[:, minute * spm : (minute + 1) * spm]
+        metadata = DASMetadata(
+            sampling_frequency=scene.fs,
+            spatial_resolution=scene.channel_spacing,
+            timestamp=stamp,
+            n_channels=scene.n_channels,
+        )
+        path = os.path.join(directory, das_filename(stamp, prefix=prefix))
+        tmp = os.path.join(
+            directory, "." + os.path.basename(path) + ".part"
+        )
+        write_das_file(tmp, block, metadata, channel_groups=channel_groups)
+        os.replace(tmp, path)
+        yield path
+        stamp = timestamp_add_seconds(stamp, spm / scene.fs)
+        if interval_seconds > 0 and minute + 1 < minutes:
+            sleep(interval_seconds)

@@ -1,0 +1,425 @@
+"""Unit tests for the rt building blocks: incremental execution, ingest,
+event assembly, checkpoints, metrics."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.local_similarity import (
+    LocalSimilarityConfig,
+    LocalSimilarityOp,
+    local_similarity_block,
+)
+from repro.core.operators import DetrendOp, FiltFiltOp, TaperOp
+from repro.core.pipeline import StreamPipeline
+from repro.core.stalta import (
+    RecursiveStaLta,
+    StaLtaOp,
+    classic_sta_lta,
+    recursive_sta_lta,
+)
+from repro.daslib import butter, filtfilt
+from repro.errors import ConfigError, StorageError
+from repro.rt.checkpoint import CheckpointStore, read_sample_range
+from repro.rt.events import (
+    EventAssembler,
+    EventPolicy,
+    EventSink,
+    SeamEvent,
+    map_events,
+)
+from repro.rt.ingest import Quarantine, SpoolWatcher, WorkQueue
+from repro.rt.metrics import LatencyStats, RTMetrics
+from repro.rt.scheduler import DetectorConfig, SeamScheduler
+from repro.storage.dasfile import write_das_file
+from repro.storage.metadata import DASMetadata
+
+
+@pytest.fixture
+def record():
+    rng = np.random.default_rng(11)
+    return rng.standard_normal((9, 3000))
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+# ---------------------------------------------------------------------------
+# IncrementalRunner: the seam-state engine under the scheduler
+# ---------------------------------------------------------------------------
+class TestIncrementalRunner:
+    def test_arbitrary_splits_match_batch(self, record):
+        fs = 200.0
+        b, a = butter(4, (2.0, 40.0), "bandpass", fs=fs)
+        cfg = LocalSimilarityConfig(
+            half_window=25, channel_offset=2, half_lag=5, stride=10
+        )
+        expected, _ = local_similarity_block(filtfilt(b, a, record), cfg)
+
+        runner = StreamPipeline(
+            [FiltFiltOp(b, a), LocalSimilarityOp(cfg)]
+        ).incremental(record.shape[0], fs=fs)
+        pieces = []
+        cuts = [0, 171, 172, 900, 1750, 2501, 3000]
+        for lo, hi in zip(cuts[:-1], cuts[1:]):
+            pieces.extend(runner.push(record[:, lo:hi]))
+        pieces.extend(runner.flush())
+
+        intervals = [interval for interval, _ in pieces]
+        assert intervals[0][0] == 0
+        assert all(
+            prev[1] == cur[0] for prev, cur in zip(intervals, intervals[1:])
+        ), "emitted intervals must tile the output axis"
+        streamed = np.concatenate([block for _, block in pieces], axis=1)
+        assert streamed.shape == expected.shape
+        assert np.abs(streamed - expected).max() == pytest.approx(0.0, abs=1e-8)
+
+    def test_stalta_chain_matches_batch(self, record):
+        runner = StreamPipeline([StaLtaOp(20, 200)]).incremental(
+            record.shape[0]
+        )
+        pieces = runner.push(record[:, :500])
+        pieces += runner.push(record[:, 500:2200])
+        pieces += runner.push(record[:, 2200:])
+        pieces += runner.flush()
+        streamed = np.concatenate([block for _, block in pieces], axis=1)
+        expected = classic_sta_lta(record, 20, 200)
+        assert np.abs(streamed - expected).max() == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_whole_record_operators(self):
+        for op in (DetrendOp(), TaperOp(0.05)):
+            with pytest.raises(ConfigError):
+                StreamPipeline([op]).incremental(4)
+
+    def test_export_import_resumes_identically(self, record):
+        fs = 200.0
+        b, a = butter(4, (2.0, 40.0), "bandpass", fs=fs)
+        cfg = LocalSimilarityConfig(
+            half_window=25, channel_offset=1, half_lag=5, stride=10
+        )
+
+        def build():
+            return StreamPipeline(
+                [FiltFiltOp(b, a), LocalSimilarityOp(cfg)]
+            ).incremental(record.shape[0], fs=fs)
+
+        straight = build()
+        pieces = straight.push(record)
+        pieces += straight.flush()
+        expected = np.concatenate([blk for _, blk in pieces], axis=1)
+
+        first = build()
+        out = first.push(record[:, :1700])
+        state = json.loads(json.dumps(first.export_state()))  # wire format
+        tail = record[:, state["buf_start"] : state["seen"]]
+        second = build()
+        second.import_state(state, tail)
+        out += second.push(record[:, 1700:])
+        out += second.flush()
+        resumed = np.concatenate([blk for _, blk in out], axis=1)
+        assert np.abs(resumed - expected).max() == pytest.approx(0.0, abs=1e-8)
+
+    def test_import_rejects_tampered_tail(self, record):
+        runner = StreamPipeline([StaLtaOp(5, 50)]).incremental(record.shape[0])
+        runner.push(record[:, :1000])
+        state = runner.export_state()
+        tail = record[:, state["buf_start"] : state["seen"]].copy()
+        tail[0, 0] += 1.0
+        fresh = StreamPipeline([StaLtaOp(5, 50)]).incremental(record.shape[0])
+        with pytest.raises(ConfigError, match="digest"):
+            fresh.import_state(state, tail)
+
+
+class TestRecursiveStaLta:
+    def test_split_matches_single_pass(self, record):
+        tracker = RecursiveStaLta(record.shape[0], 10, 100)
+        out = np.concatenate(
+            [
+                tracker.process(record[:, :700]),
+                tracker.process(record[:, 700:701]),
+                tracker.process(record[:, 701:]),
+            ],
+            axis=1,
+        )
+        expected = np.stack(
+            [recursive_sta_lta(row, 10, 100) for row in record]
+        )
+        assert np.abs(out - expected).max() == pytest.approx(0.0, abs=1e-12)
+
+    def test_state_roundtrip(self, record):
+        first = RecursiveStaLta(record.shape[0], 10, 100)
+        first.process(record[:, :1234])
+        payload = json.loads(json.dumps(first.export_state()))
+        second = RecursiveStaLta(record.shape[0], 10, 100)
+        second.import_state(payload)
+        a = first.process(record[:, 1234:])
+        b = second.process(record[:, 1234:])
+        assert np.array_equal(a, b)
+
+    def test_state_geometry_checked(self, record):
+        payload = RecursiveStaLta(4, 10, 100).export_state()
+        with pytest.raises(ConfigError):
+            RecursiveStaLta(5, 10, 100).import_state(payload)
+
+
+# ---------------------------------------------------------------------------
+# Ingest: watcher heuristics, queue backpressure, quarantine
+# ---------------------------------------------------------------------------
+class TestSpoolWatcher:
+    def _touch(self, directory, name, size=8, clock=None):
+        path = os.path.join(directory, name)
+        with open(path, "wb") as handle:
+            handle.write(b"x" * size)
+        if clock is not None:  # pin mtime into the fake timeline
+            os.utime(path, (clock.now, clock.now))
+        return path
+
+    def test_file_admitted_only_after_size_settles(self, tmp_path):
+        clock = FakeClock()
+        watcher = SpoolWatcher(
+            tmp_path, settle_seconds=0.0, stable_polls=2, clock=clock
+        )
+        path = self._touch(
+            tmp_path, "westSac_170620100545.h5", size=10, clock=clock
+        )
+        assert watcher.scan() == []  # first sighting: not yet stable
+        self._touch(
+            tmp_path, "westSac_170620100545.h5", size=20, clock=clock
+        )  # grew
+        assert watcher.scan() == []  # size changed: counter resets
+        assert watcher.scan() == [path]  # two stable polls
+        assert watcher.scan() == []  # announced exactly once
+
+    def test_mtime_settle_delays_admission(self, tmp_path):
+        clock = FakeClock()
+        watcher = SpoolWatcher(
+            tmp_path, settle_seconds=5.0, stable_polls=1, clock=clock
+        )
+        path = self._touch(
+            tmp_path, "westSac_170620100545.h5", clock=clock
+        )
+        assert watcher.scan() == []  # too fresh
+        clock.advance(6.0)
+        assert watcher.scan() == [path]
+
+    def test_hidden_and_foreign_files_ignored(self, tmp_path):
+        clock = FakeClock()
+        watcher = SpoolWatcher(
+            tmp_path, settle_seconds=0.0, stable_polls=1, clock=clock
+        )
+        self._touch(tmp_path, ".westSac_170620100545.h5.part", clock=clock)
+        self._touch(tmp_path, "notes.txt", clock=clock)
+        assert watcher.scan() == []
+
+    def test_mark_known_suppresses_resume_reannounce(self, tmp_path):
+        clock = FakeClock()
+        path = self._touch(
+            tmp_path, "westSac_170620100545.h5", clock=clock
+        )
+        watcher = SpoolWatcher(
+            tmp_path, settle_seconds=0.0, stable_polls=1, clock=clock
+        )
+        watcher.mark_known([path])
+        assert watcher.scan() == []
+
+
+class TestWorkQueue:
+    def test_backpressure(self):
+        queue = WorkQueue(capacity=2)
+        assert queue.offer("a") and queue.offer("b")
+        assert not queue.offer("c")
+        assert queue.rejected == 1
+        assert queue.pop() == "a"
+        assert queue.offer("c")
+        assert queue.items() == ["b", "c"]
+        assert queue.peak_depth == 2
+
+    def test_validates_capacity(self):
+        with pytest.raises(ConfigError):
+            WorkQueue(0)
+
+
+class TestQuarantine:
+    def test_persists_across_instances(self, tmp_path):
+        quarantine = Quarantine(tmp_path)
+        bad = os.path.join(tmp_path, "westSac_170620100545.h5")
+        quarantine.add(bad, "short read at offset 0", attempts=3)
+        assert bad in quarantine
+        reloaded = Quarantine(tmp_path)
+        assert bad in reloaded
+        assert reloaded.reasons["westSac_170620100545.h5"].startswith(
+            "short read"
+        )
+        assert len(reloaded) == 1
+
+
+# ---------------------------------------------------------------------------
+# Events: streamed assembly == batch assembly, sink dedup
+# ---------------------------------------------------------------------------
+class TestEventAssembly:
+    def _random_map(self, seed, n_channels=12, n_columns=200):
+        rng = np.random.default_rng(seed)
+        block = rng.uniform(-0.2, 0.45, size=(n_channels, n_columns))
+        # paint a few hot stripes so runs exist
+        for lo, hi in ((20, 35), (90, 91), (140, 170)):
+            block[:, lo:hi] += 0.5
+        return block
+
+    def test_streamed_equals_batch_any_split(self):
+        policy = EventPolicy(threshold=0.4, min_fraction=0.5)
+        fs = 100.0
+        block = self._random_map(3)
+        centers = np.arange(block.shape[1]) * 7 + 30
+        expected = map_events(block, centers, fs, policy, n_channels=12)
+        for cuts in ([0, 60, 61, 150, 200], [0, 25, 95, 160, 200]):
+            assembler = EventAssembler(policy, fs, 12)
+            got = []
+            for lo, hi in zip(cuts[:-1], cuts[1:]):
+                got.extend(
+                    assembler.feed(lo, centers[lo:hi], block[:, lo:hi])
+                )
+            got.extend(assembler.flush())
+            assert [e.to_json() for e in got] == [
+                e.to_json() for e in expected
+            ]
+
+    def test_open_run_survives_state_roundtrip(self):
+        policy = EventPolicy(threshold=0.4, min_fraction=0.5)
+        block = self._random_map(5)
+        centers = np.arange(block.shape[1]) * 7 + 30
+        expected = map_events(block, centers, 100.0, policy, n_channels=12)
+
+        first = EventAssembler(policy, 100.0, 12)
+        got = first.feed(0, centers[:150], block[:, :150])  # run open at 140..
+        payload = json.loads(json.dumps(first.export_state()))
+        second = EventAssembler(policy, 100.0, 12)
+        second.import_state(payload)
+        got += second.feed(150, centers[150:], block[:, 150:])
+        got += second.flush()
+        assert [e.to_json() for e in got] == [e.to_json() for e in expected]
+
+    def test_min_columns_drops_glitches(self):
+        policy = EventPolicy(threshold=0.4, min_fraction=0.5, min_columns=2)
+        block = self._random_map(7)
+        centers = np.arange(block.shape[1]).astype(float)
+        events = map_events(block, centers, 100.0, policy, n_channels=12)
+        assert all(e.j_end - e.j_start + 1 >= 2 for e in events)
+        assert not any(e.j_start == 90 for e in events)  # the 1-column stripe
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigError):
+            EventPolicy(min_fraction=0.0)
+        with pytest.raises(ConfigError):
+            EventPolicy(min_columns=0)
+
+
+class TestEventSink:
+    def test_dedup_by_record_and_span(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        policy = EventPolicy(threshold=0.4, min_fraction=0.5)
+        block = np.full((4, 6), 0.9)
+        events = map_events(block, np.arange(6.0), 10.0, policy, n_channels=4)
+        sink = EventSink(path)
+        assert len(sink.emit(events, record="170620100545")) == 1
+        assert sink.emit(events, record="170620100545") == []  # duplicate
+        assert len(sink.emit(events, record="170620100645")) == 1  # new record
+        reloaded = EventSink(path)  # resume: keys reloaded from disk
+        assert reloaded.count == 2
+        assert reloaded.emit(events, record="170620100545") == []
+        assert all(
+            isinstance(e, SeamEvent) for e in reloaded.load()
+        )
+
+
+# ---------------------------------------------------------------------------
+# Checkpoints
+# ---------------------------------------------------------------------------
+class TestCheckpointStore:
+    def test_roundtrip_and_clear(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt.json")
+        assert store.load() is None
+        store.save({"files_done": [["a.h5", 100]]})
+        assert store.load()["files_done"] == [["a.h5", 100]]
+        store.clear()
+        assert store.load() is None
+
+    def test_rejects_torn_checkpoint(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text('{"version": 1, "files')
+        with pytest.raises(StorageError):
+            CheckpointStore(path).load()
+
+    def test_read_sample_range_spans_files(self, tmp_path):
+        fs, n = 10.0, 40
+        data = np.arange(4 * 3 * n, dtype=np.float32).reshape(4, 3 * n)
+        files = []
+        stamp = "170620100545"
+        for k in range(3):
+            meta = DASMetadata(
+                sampling_frequency=fs,
+                spatial_resolution=2.0,
+                timestamp=stamp,
+                n_channels=4,
+            )
+            path = os.path.join(tmp_path, f"westSac_{stamp}.h5")
+            write_das_file(path, data[:, k * n : (k + 1) * n], meta)
+            files.append((path, n))
+            stamp = str(int(stamp) + 4)
+        got = read_sample_range(files, 35, 85)
+        assert np.array_equal(got, data[:, 35:85])
+        with pytest.raises(StorageError):
+            read_sample_range(files, 100, 300)  # beyond what files cover
+
+
+# ---------------------------------------------------------------------------
+# Scheduler + metrics odds and ends
+# ---------------------------------------------------------------------------
+class TestSchedulerConfig:
+    def test_rejects_unknown_detector(self):
+        with pytest.raises(ConfigError):
+            DetectorConfig(detector="template_matching")
+
+    def test_geometry_mismatch_raises(self, record):
+        scheduler = SeamScheduler(DetectorConfig(band=None))
+        scheduler.process(record, fs=200.0)
+        with pytest.raises(ConfigError, match="does not match"):
+            scheduler.process(record[:5], fs=200.0)
+
+    def test_centers_map_columns_to_samples(self):
+        cfg = DetectorConfig(
+            similarity=LocalSimilarityConfig(
+                half_window=25, channel_offset=1, half_lag=5, stride=10
+            )
+        )
+        assert list(cfg.centers(0, 3)) == [30, 40, 50]
+        assert DetectorConfig(detector="sta_lta").channel_lo == 0
+        assert cfg.channel_lo == 1
+
+
+class TestMetrics:
+    def test_latency_percentiles(self):
+        stats = LatencyStats()
+        for v in range(1, 101):
+            stats.record(v / 100.0)
+        assert stats.percentile(50) == pytest.approx(0.505, abs=1e-9)
+        assert stats.percentile(95) == pytest.approx(0.9505, abs=1e-9)
+        snap = stats.snapshot()
+        assert snap["count"] == 100 and snap["max_s"] == pytest.approx(1.0)
+
+    def test_snapshot_is_json_safe(self):
+        metrics = RTMetrics()
+        metrics.stage("read").record(0.01)
+        metrics.ingest_lag.record(0.5)
+        metrics.files_ingested = 3
+        json.dumps(metrics.snapshot())
+        assert "files/sec" in metrics.report() or "files" in metrics.report()
