@@ -9,13 +9,19 @@
 # resident bytes stay strictly below (BENCH_pipeline.json).  The rt
 # smoke run drip-feeds a spool through the monitoring service and
 # asserts its event log is seam-equivalent to one batch run over the
-# concatenated record (BENCH_rt.json).
+# concatenated record (BENCH_rt.json).  The faults smoke run asserts
+# checksum verification costs < 10% on the cached VCA read path and that
+# masked degraded reads are equivalent to clean runs outside the masked
+# spans (BENCH_faults.json); faultcheck.sh rejects new untyped
+# catch-alls under src/repro/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+scripts/faultcheck.sh
 python -m pytest -x -q
 python benchmarks/bench_cache.py --smoke
 python benchmarks/bench_pipeline.py --smoke
 python benchmarks/bench_rt_service.py --smoke
+python benchmarks/bench_faults.py --smoke

@@ -31,10 +31,12 @@ from repro.core.local_similarity import (
     LocalSimilarityConfig,
     streamed_local_similarity,
 )
-from repro.core.pipeline import PipelineProfile
+from repro.core.pipeline import PipelineProfile, PipelineResult
 from repro.core.stalta import streamed_sta_lta
 from repro.errors import ConfigError, StorageError
-from repro.storage.chunks import ChunkSource, as_source, auto_chunk_samples
+from repro.faults.policy import FailurePolicy
+from repro.storage.chunks import ChunkSource, as_source, auto_chunk_samples, open_stream
+from repro.storage.gaps import GapMap
 from repro.storage.rca import create_rca
 from repro.storage.search import DASFileInfo, das_search
 from repro.storage.vca import VCAHandle, create_vca, open_vca
@@ -48,6 +50,13 @@ class DASSAConfig:
     block stays under ``chunk_bytes`` (whole record if it already fits);
     analysis never materialises more than one such block plus the
     per-stage halos.
+
+    ``on_error`` governs degraded source reads (forwarded to
+    :func:`~repro.storage.vca.open_vca` when the facade opens a VCA path):
+    ``"raise"`` propagates typed storage errors, ``"mask"``/``"skip"``
+    fill unreadable spans with ``fill_value`` and report them.
+    ``failure_policy`` governs per-chunk execution faults in the
+    streaming core (retry / fail-fast vs collect-and-continue).
     """
 
     cluster: ClusterSpec = field(default_factory=laptop)
@@ -55,6 +64,9 @@ class DASSAConfig:
     workdir: str | None = None
     chunk_samples: int | None = None
     chunk_bytes: int = 64 << 20
+    on_error: str = "raise"
+    fill_value: float = float("nan")
+    failure_policy: FailurePolicy | None = None
 
 
 class DASSA:
@@ -63,7 +75,9 @@ class DASSA:
     Every analysis call streams its source through the chunked execution
     core (:class:`~repro.core.pipeline.StreamPipeline`); the profile of
     the most recent run (per-stage seconds, bytes streamed, peak
-    resident bytes) is kept in :attr:`last_profile`.
+    resident bytes) is kept in :attr:`last_profile`, and — when degraded
+    reads or a ``continue`` failure policy are active — the spans lost to
+    faults land in :attr:`last_gaps`.
     """
 
     def __init__(
@@ -73,6 +87,9 @@ class DASSA:
         workdir: str | os.PathLike | None = None,
         chunk_samples: int | None = None,
         chunk_bytes: int = 64 << 20,
+        on_error: str = "raise",
+        fill_value: float = float("nan"),
+        failure_policy: FailurePolicy | None = None,
     ):
         if threads < 1:
             raise ConfigError("threads must be >= 1")
@@ -80,14 +97,22 @@ class DASSA:
             raise ConfigError("chunk_samples must be >= 1")
         if chunk_bytes < 1:
             raise ConfigError("chunk_bytes must be >= 1")
+        if on_error not in ("raise", "mask", "skip"):
+            raise ConfigError(
+                f"on_error must be 'raise', 'mask', or 'skip', got {on_error!r}"
+            )
         self.config = DASSAConfig(
             cluster=cluster if cluster is not None else laptop(),
             threads=threads,
             workdir=os.fspath(workdir) if workdir is not None else None,
             chunk_samples=chunk_samples,
             chunk_bytes=chunk_bytes,
+            on_error=on_error,
+            fill_value=fill_value,
+            failure_policy=failure_policy,
         )
         self.last_profile: PipelineProfile | None = None
+        self.last_gaps: GapMap | None = None
         self._tmpdir: tempfile.TemporaryDirectory | None = None
 
     # -- storage side --------------------------------------------------------------
@@ -159,9 +184,36 @@ class DASSA:
         self, source: str | np.ndarray | VCAHandle | ChunkSource
     ) -> tuple[ChunkSource, bool]:
         """Coerce to a chunk source; second element says we opened (and
-        must close) a file handle."""
-        owns = isinstance(source, (str, os.PathLike))
-        return as_source(source), owns
+        must close) a file handle.  Paths we open ourselves inherit the
+        facade's degraded-read mode."""
+        if isinstance(source, (str, os.PathLike)):
+            return (
+                open_stream(
+                    source,
+                    on_error=self.config.on_error,
+                    fill_value=self.config.fill_value,
+                ),
+                True,
+            )
+        return as_source(source), False
+
+    def _finish(self, result: PipelineResult, src: ChunkSource) -> None:
+        """Record the run's profile and its fault report.
+
+        ``last_gaps`` merges source-level gaps (input-sample spans a
+        degraded VCA read masked) with chunk-level gaps (final *output*
+        spans filled under a ``continue`` policy — the pipeline may
+        decimate, so the two coordinate systems differ); ``None`` when
+        the run was clean.
+        """
+        self.last_profile = result.profile
+        gaps = GapMap()
+        source_gaps = getattr(src, "gaps", None)
+        if source_gaps:
+            gaps.merge(source_gaps)
+        if result.gaps:
+            gaps.merge(result.gaps)
+        self.last_gaps = gaps if gaps else None
 
     def _chunk_for(self, src: ChunkSource) -> int:
         if self.config.chunk_samples is not None:
@@ -193,11 +245,12 @@ class DASSA:
                     chunk_samples if chunk_samples is not None else self._chunk_for(src)
                 ),
                 threads=self.config.threads,
+                policy=self.config.failure_policy,
             )
         finally:
             if owns:
                 src.close()
-        self.last_profile = result.profile
+        self._finish(result, src)
         return result.output, centers
 
     def detect(
@@ -229,11 +282,12 @@ class DASSA:
                     chunk_samples if chunk_samples is not None else self._chunk_for(src)
                 ),
                 threads=self.config.threads,
+                policy=self.config.failure_policy,
             )
         finally:
             if owns:
                 src.close()
-        self.last_profile = result.profile
+        self._finish(result, src)
         return result.output
 
     def sta_lta(
@@ -255,11 +309,12 @@ class DASSA:
                     chunk_samples if chunk_samples is not None else self._chunk_for(src)
                 ),
                 threads=self.config.threads,
+                policy=self.config.failure_policy,
             )
         finally:
             if owns:
                 src.close()
-        self.last_profile = result.profile
+        self._finish(result, src)
         return result.output
 
     def stack(
@@ -293,11 +348,12 @@ class DASSA:
                 chunk_samples=(
                     chunk_samples if chunk_samples is not None else self._chunk_for(src)
                 ),
+                policy=self.config.failure_policy,
             )
         finally:
             if owns:
                 src.close()
-        self.last_profile = result.profile
+        self._finish(result, src)
         return result.output
 
     def noise_correlations(

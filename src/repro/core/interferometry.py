@@ -236,6 +236,7 @@ def streamed_interferometry(
     threads: int = 1,
     timer: object = None,
     iostats: object = None,
+    policy: object = None,
 ):
     """Algorithm 3 over a chunk source, never holding the raw record.
 
@@ -244,6 +245,8 @@ def streamed_interferometry(
     whole chain streams through :class:`~repro.core.pipeline.StreamPipeline`.
     Returns a :class:`~repro.core.pipeline.PipelineResult` whose output
     matches :func:`interferometry_block` on the materialised array.
+    ``policy`` is an optional :class:`~repro.faults.policy.FailurePolicy`
+    governing per-chunk retry and gap masking.
     """
     from repro.core.pipeline import StreamPipeline
     from repro.storage.chunks import as_source
@@ -260,4 +263,5 @@ def streamed_interferometry(
         timer=timer,
         iostats=iostats,
         fs=config.fs,
+        policy=policy,
     )

@@ -250,12 +250,15 @@ def streamed_local_similarity(
     timer: object = None,
     iostats: object = None,
     fs: float | None = None,
+    policy: object = None,
 ):
     """Algorithm 2 over a chunk source, one overlap-padded block at a time.
 
     Returns ``(result, centers)`` with ``result`` a
     :class:`~repro.core.pipeline.PipelineResult` whose output matches
     :func:`local_similarity_block` on the materialised array.
+    ``policy`` is an optional :class:`~repro.faults.policy.FailurePolicy`
+    governing per-chunk retry and gap masking.
     """
     from repro.core.pipeline import StreamPipeline
     from repro.storage.chunks import as_source
@@ -268,5 +271,6 @@ def streamed_local_similarity(
         threads=threads,
         timer=timer,
         iostats=iostats,
+        policy=policy,
     )
     return result, config.centers(src.n_samples)

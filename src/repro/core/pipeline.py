@@ -44,7 +44,9 @@ import numpy as np
 
 from repro.arrayudf.fuse import map_blocks_mt
 from repro.errors import ConfigError
+from repro.faults.policy import RETRYABLE, FailurePolicy, retry_call
 from repro.storage.chunks import ChunkSource, as_source, auto_chunk_samples, iter_intervals
+from repro.storage.gaps import GapMap
 from repro.utils.iostats import IOStats
 from repro.utils.timer import Timer
 
@@ -268,8 +270,16 @@ class PipelineProfile:
 
 @dataclass
 class PipelineResult:
+    """``output`` plus the run's profile; ``gaps`` (present when the run
+    used a ``continue`` :class:`~repro.faults.policy.FailurePolicy`) lists
+    final-level output spans filled because their chunk stayed broken
+    after retries — coordinates are *output* samples, unlike the
+    input-sample gaps a degraded :class:`~repro.storage.chunks.VCASource`
+    reports."""
+
     output: Any
     profile: PipelineProfile
+    gaps: GapMap | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -443,6 +453,7 @@ class StreamPipeline:
         timer: Timer | None = None,
         iostats: IOStats | None = None,
         fs: float | None = None,
+        policy: FailurePolicy | None = None,
     ) -> PipelineResult:
         """Stream ``source`` through the chain.
 
@@ -451,6 +462,14 @@ class StreamPipeline:
         behaviour); any other value bounds the resident block to roughly
         ``channels * (chunk + halos) * 8`` bytes.  ``threads`` splits the
         output channels into ApplyMT-style static blocks per chunk.
+
+        With a :class:`~repro.faults.policy.FailurePolicy`, each chunk's
+        read-plus-compute is retried (``policy.retries`` with exponential
+        ``policy.backoff``) on retryable faults; a chunk that stays broken
+        either raises the typed error (``fail_fast``) or contributes a
+        ``policy.fill``-valued output span recorded in the result's
+        :attr:`~PipelineResult.gaps` (``continue``) — a bad chunk becomes
+        a reported gap rather than a crash.
         """
         src = as_source(source, fs=fs)
         if src.n_samples < 1 or src.n_channels < 1:
@@ -490,6 +509,8 @@ class StreamPipeline:
         pieces: list[np.ndarray] = []
         pieces_bytes = 0
         peak_resident = 0
+        gaps = GapMap() if policy is not None and not policy.fail_fast else None
+        src_label = getattr(src, "path", None) or "stream"
         for c0, c1 in iter_intervals(src.n_samples, chunk):
             targets = self._core_targets(c0, c1, totals, n_maps)
             tgt = targets[-1]
@@ -497,14 +518,16 @@ class StreamPipeline:
                 continue
             needs = self._needed(tgt, totals, n_maps)
             a, b = needs[0]
-            with timer.phase("read"):
-                block = src.read(a, b)
 
-            if use_threads == 1:
-                trimmed, chain_peak = self._run_chain(
-                    block, (a, b), tgt, totals, rates, states, 0, n_maps, timer
-                )
-            else:
+            def process_chunk() -> tuple[np.ndarray, int]:
+                with timer.phase("read"):
+                    block = src.read(a, b)
+
+                if use_threads == 1:
+                    return self._run_chain(
+                        block, (a, b), tgt, totals, rates, states, 0, n_maps,
+                        timer,
+                    )
                 thread_timers = [Timer() for _ in range(use_threads)]
                 peaks = [0] * use_threads
 
@@ -533,6 +556,33 @@ class StreamPipeline:
                 chain_peak = block.nbytes + sum(
                     max(0, p - block.nbytes) for p in peaks
                 )
+                return trimmed, chain_peak
+
+            if policy is None:
+                trimmed, chain_peak = process_chunk()
+            else:
+                try:
+                    trimmed, chain_peak = retry_call(
+                        process_chunk,
+                        retries=policy.retries,
+                        backoff=policy.backoff,
+                    )
+                except RETRYABLE as exc:
+                    if policy.fail_fast:
+                        raise
+                    # The chunk stays broken: its owned output span becomes
+                    # fill, reported as a gap instead of crashing the run.
+                    trimmed = np.full(
+                        (out_rows, tgt[1] - tgt[0]), policy.fill
+                    )
+                    chain_peak = trimmed.nbytes
+                    gaps.record(
+                        src_label,
+                        tgt[0],
+                        tgt[1],
+                        f"{type(exc).__name__}: {exc}",
+                        attempts=policy.retries + 1,
+                    )
 
             if self.sink is not None:
                 ctx = OpContext(
@@ -578,7 +628,7 @@ class StreamPipeline:
             peak_resident_bytes=peak_resident,
             output_bytes=output.nbytes if isinstance(output, np.ndarray) else 0,
         )
-        return PipelineResult(output=output, profile=profile)
+        return PipelineResult(output=output, profile=profile, gaps=gaps)
 
     def _run_post(
         self, output: Any, fs: float, timer: Timer, interpreted: bool

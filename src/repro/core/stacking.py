@@ -220,6 +220,7 @@ def streamed_stack(
     chunk_samples: int | None = None,
     timer: object = None,
     iostats: object = None,
+    policy: object = None,
 ):
     """Windowed NCF stacking over a chunk source.
 
@@ -227,7 +228,9 @@ def streamed_stack(
     is ``(lags, stacked)``, matching :func:`window_ncfs` followed by
     :func:`linear_stack` / :func:`phase_weighted_stack` on the
     materialised array — without ever holding the raw record or the 3-D
-    window cube.
+    window cube.  ``policy`` is an optional
+    :class:`~repro.faults.policy.FailurePolicy` governing per-chunk retry
+    and gap masking.
     """
     from repro.core.pipeline import StreamPipeline
 
@@ -245,6 +248,7 @@ def streamed_stack(
         timer=timer,
         iostats=iostats,
         fs=config.fs,
+        policy=policy,
     )
 
 

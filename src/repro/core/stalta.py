@@ -27,6 +27,12 @@ def classic_sta_lta(x: np.ndarray, nsta: int, nlta: int, axis: int = -1) -> np.n
     ``nsta``/``nlta`` are window lengths in samples (trailing windows).
     The first ``nlta`` samples, where the LTA is not yet filled, return
     0 so they can never trigger (ObsPy behaviour).
+
+    NaN samples (degraded-read fill) yield NaN for exactly the outputs
+    whose LTA window contains them; windows clear of NaN are computed
+    from the real samples only, so a masked span's damage stays inside
+    its ``nlta - 1`` halo instead of poisoning the running sums for the
+    rest of the record.
     """
     if not (0 < nsta < nlta):
         raise ConfigError(f"need 0 < nsta ({nsta}) < nlta ({nlta})")
@@ -35,19 +41,38 @@ def classic_sta_lta(x: np.ndarray, nsta: int, nlta: int, axis: int = -1) -> np.n
     if n < nlta:
         raise ConfigError(f"signal of {n} samples shorter than nlta={nlta}")
     moved = np.moveaxis(x, axis, -1)
-    energy = moved**2
-    cumsum = np.concatenate(
-        [np.zeros(energy.shape[:-1] + (1,)), np.cumsum(energy, axis=-1)], axis=-1
-    )
     idx = np.arange(n)
     sta_lo = np.clip(idx - nsta + 1, 0, None)
     lta_lo = np.clip(idx - nlta + 1, 0, None)
+    ratio = _windowed_ratio(moved, idx, sta_lo, lta_lo, nsta, nlta)
+    ratio[..., : nlta - 1] = 0.0
+    return np.moveaxis(ratio, -1, axis)
+
+
+def _windowed_ratio(data, idx, sta_lo, lta_lo, nsta, nlta):
+    """Trailing-window STA/LTA via cumulative sums, with NaN containment:
+    NaN inputs are zeroed out of the running sums and the outputs whose
+    LTA window touched one are set to NaN afterwards."""
+    contaminated = np.isnan(data)
+    any_bad = bool(contaminated.any())
+    energy = np.where(contaminated, 0.0, data) ** 2 if any_bad else data**2
+    cumsum = np.concatenate(
+        [np.zeros(energy.shape[:-1] + (1,)), np.cumsum(energy, axis=-1)], axis=-1
+    )
     sta = (cumsum[..., idx + 1] - cumsum[..., sta_lo]) / nsta
     lta = (cumsum[..., idx + 1] - cumsum[..., lta_lo]) / nlta
     with np.errstate(divide="ignore", invalid="ignore"):
         ratio = np.where(lta > 0, sta / np.where(lta > 0, lta, 1.0), 0.0)
-    ratio[..., : nlta - 1] = 0.0
-    return np.moveaxis(ratio, -1, axis)
+    if any_bad:
+        badcum = np.concatenate(
+            [
+                np.zeros(contaminated.shape[:-1] + (1,)),
+                np.cumsum(contaminated, axis=-1),
+            ],
+            axis=-1,
+        )
+        ratio[(badcum[..., idx + 1] - badcum[..., lta_lo]) > 0] = np.nan
+    return ratio
 
 
 class StaLtaOp(Operator):
@@ -73,18 +98,13 @@ class StaLtaOp(Operator):
         if ctx.whole and data.shape[-1] >= self.nlta:
             return classic_sta_lta(data, self.nsta, self.nlta, axis=-1)
         n = data.shape[-1]
-        energy = data**2
-        cumsum = np.concatenate(
-            [np.zeros(energy.shape[:-1] + (1,)), np.cumsum(energy, axis=-1)],
-            axis=-1,
-        )
         idx = np.arange(n)
         sta_lo = np.clip(idx - self.nsta + 1, 0, None)
         lta_lo = np.clip(idx - self.nlta + 1, 0, None)
-        sta = (cumsum[..., idx + 1] - cumsum[..., sta_lo]) / self.nsta
-        lta = (cumsum[..., idx + 1] - cumsum[..., lta_lo]) / self.nlta
-        with np.errstate(divide="ignore", invalid="ignore"):
-            ratio = np.where(lta > 0, sta / np.where(lta > 0, lta, 1.0), 0.0)
+        ratio = _windowed_ratio(
+            np.asarray(data, dtype=np.float64), idx, sta_lo, lta_lo,
+            self.nsta, self.nlta,
+        )
         ratio[..., ctx.start + idx < self.nlta - 1] = 0.0
         return ratio
 
@@ -98,11 +118,14 @@ def streamed_sta_lta(
     timer: object = None,
     iostats: object = None,
     fs: float | None = None,
+    policy: object = None,
 ):
     """STA/LTA ratios over a chunk source.
 
     Returns a :class:`~repro.core.pipeline.PipelineResult` whose output
     matches :func:`classic_sta_lta` on the materialised array.
+    ``policy`` is an optional :class:`~repro.faults.policy.FailurePolicy`
+    governing per-chunk retry and gap masking.
     """
     from repro.core.pipeline import StreamPipeline
 
@@ -113,6 +136,7 @@ def streamed_sta_lta(
         timer=timer,
         iostats=iostats,
         fs=fs,
+        policy=policy,
     )
 
 

@@ -11,6 +11,11 @@ def moving_average(x: np.ndarray, width: int, axis: int = -1) -> np.ndarray:
 
     Within ``width//2`` of an edge the average is taken over the samples
     that exist, so the output has no ramp-in bias toward zero.
+
+    NaN samples (degraded-read fill) produce NaN for exactly the windows
+    that contain them — they are zeroed out of the running sum first, so
+    a masked span cannot poison the cumulative sums for every window
+    after it.
     """
     if width < 1:
         raise ValueError("width must be >= 1")
@@ -21,7 +26,10 @@ def moving_average(x: np.ndarray, width: int, axis: int = -1) -> np.ndarray:
     moved = np.moveaxis(x, axis, -1)
     half_left = (width - 1) // 2
     half_right = width // 2
-    cumsum = np.cumsum(moved, axis=-1)
+    contaminated = np.isnan(moved)
+    any_bad = bool(contaminated.any())
+    summand = np.where(contaminated, 0.0, moved) if any_bad else moved
+    cumsum = np.cumsum(summand, axis=-1)
     zero = np.zeros(moved.shape[:-1] + (1,))
     cumsum = np.concatenate([zero, cumsum], axis=-1)
     idx = np.arange(n)
@@ -29,7 +37,11 @@ def moving_average(x: np.ndarray, width: int, axis: int = -1) -> np.ndarray:
     hi = np.clip(idx + half_right + 1, 0, n)
     sums = cumsum[..., hi] - cumsum[..., lo]
     counts = (hi - lo).astype(np.float64)
-    return np.moveaxis(sums / counts, -1, axis)
+    out = sums / counts
+    if any_bad:
+        badcum = np.concatenate([zero, np.cumsum(contaminated, axis=-1)], axis=-1)
+        out[(badcum[..., hi] - badcum[..., lo]) > 0] = np.nan
+    return np.moveaxis(out, -1, axis)
 
 
 def sliding_windows(x: np.ndarray, width: int, step: int = 1, axis: int = -1) -> np.ndarray:

@@ -23,6 +23,43 @@ class StorageError(ReproError):
     """Raised by the DASS storage engine (search, VCA/RCA, readers)."""
 
 
+class CorruptDataError(StorageError):
+    """Raised when stored bytes fail an integrity check (CRC32 mismatch,
+    impossible extents) — the data on disk is not what was written.
+
+    Carries structured context so degraded-read layers and quarantine
+    records can reason about the failure instead of string-matching:
+    ``path`` the file holding the bad bytes, ``offset`` the byte offset of
+    the failing block (``None`` when unknown), ``reason`` a short
+    machine-friendly cause (e.g. ``"crc32 mismatch"``).
+    """
+
+    def __init__(self, path: str, offset: "int | None" = None, reason: str = "corrupt data"):
+        self.path = str(path)
+        self.offset = offset
+        self.reason = reason
+        at = f" at offset {offset}" if offset is not None else ""
+        super().__init__(f"{self.path}: {reason}{at}")
+
+
+class DegradedReadError(StorageError):
+    """Raised when a read could not be satisfied from a source and the
+    caller's error policy says to surface (rather than mask) the loss.
+
+    Same structured fields as :class:`CorruptDataError`: ``path`` names
+    the failing source, ``offset`` the sample/byte position when known,
+    ``reason`` the short cause (``"truncated"``, ``"vanished"``,
+    ``"unreadable"``, ...).
+    """
+
+    def __init__(self, path: str, offset: "int | None" = None, reason: str = "unreadable"):
+        self.path = str(path)
+        self.offset = offset
+        self.reason = reason
+        at = f" at offset {offset}" if offset is not None else ""
+        super().__init__(f"{self.path}: degraded read ({reason}){at}")
+
+
 class MPIError(ReproError):
     """Raised by the simulated MPI runtime."""
 

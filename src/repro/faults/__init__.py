@@ -1,0 +1,30 @@
+"""Fault tolerance for the batch path: injection harness + runtime policy.
+
+Two halves:
+
+* :mod:`repro.faults.inject` — a deterministic, seeded fault-injection
+  harness (bit-flip, truncate, vanish, slow-read, raise-on-nth-read)
+  used by the fault-matrix tests and ``benchmarks/bench_faults.py``.
+* :mod:`repro.faults.policy` — :class:`FailurePolicy` (fail-fast vs
+  collect-and-continue, bounded retries, per-task timeout) and the
+  shared :func:`retry_call` bounded-retry-with-backoff helper threaded
+  through ``apply_mt``, ``StreamPipeline``, and the parallel readers.
+"""
+
+from repro.faults.inject import (
+    FaultInjector,
+    clear_read_faults,
+    install_read_fault,
+    read_faults,
+)
+from repro.faults.policy import FailurePolicy, TaskFailure, retry_call
+
+__all__ = [
+    "FaultInjector",
+    "FailurePolicy",
+    "TaskFailure",
+    "retry_call",
+    "install_read_fault",
+    "clear_read_faults",
+    "read_faults",
+]

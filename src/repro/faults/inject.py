@@ -1,0 +1,223 @@
+"""Deterministic, seeded fault injection for storage-path testing.
+
+At the 1.9 TB / 2880-file campaign scale of the paper's §V evaluation,
+corrupt, truncated, and vanished files are the steady state; this module
+manufactures exactly those conditions on demand so the degraded-read and
+retry machinery can be exercised (and benchmarked) reproducibly.
+
+Two injection surfaces:
+
+* **On-disk faults** mutate real files: :meth:`FaultInjector.bit_flip`
+  flips one bit inside the data region (checksummed reads then raise
+  :class:`~repro.errors.CorruptDataError`; unchecksummed reads return
+  silently wrong bytes — which is the argument for checksums),
+  :meth:`FaultInjector.truncate` cuts the file short (short reads), and
+  :meth:`FaultInjector.vanish` removes it.
+* **Read hooks** intercept backend reads without touching the file:
+  :func:`install_read_fault` registers a per-path hook consulted by
+  :class:`~repro.hdf5lite.binary.FileBackend` before every positioned
+  read — ``slow-read`` sleeps, ``raise-on-nth-read`` fails the first
+  *n* reads and then succeeds (the transient fault that bounded retry
+  must absorb).  Hooks are process-global; tests pair
+  :func:`install_read_fault` with :func:`clear_read_faults` (or use the
+  :func:`read_faults` context manager).
+
+Everything is seeded: the same seed over the same file list picks the
+same victims, the same flip offsets, the same truncation points.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import ConfigError, DegradedReadError
+from repro.hdf5lite.binary import HEADER_SIZE, FileBackend, Header
+
+
+# ---------------------------------------------------------------------------
+# read hooks (slow-read / raise-on-nth-read)
+# ---------------------------------------------------------------------------
+
+_hooks: dict[str, Callable[[int, int], None]] = {}
+_hooks_lock = threading.Lock()
+
+
+def _normalize(path: str | os.PathLike) -> str:
+    return os.path.normpath(os.path.abspath(os.fspath(path)))
+
+
+def _dispatch(path: str, offset: int, nbytes: int) -> None:
+    """The hook FileBackend calls before every positioned read."""
+    hook = _hooks.get(_normalize(path))
+    if hook is not None:
+        hook(offset, nbytes)
+
+
+def install_read_fault(
+    path: str | os.PathLike,
+    kind: str,
+    delay: float = 0.0,
+    fail_reads: int = 1,
+    error: Exception | None = None,
+) -> None:
+    """Install a read-side fault for ``path``.
+
+    ``kind="slow-read"`` sleeps ``delay`` seconds per backend read;
+    ``kind="raise-on-nth-read"`` raises on the first ``fail_reads``
+    reads of the path and then lets reads through (a transient fault).
+    ``error`` overrides the raised exception (default
+    :class:`~repro.errors.DegradedReadError`).
+    """
+    key = _normalize(path)
+    if kind == "slow-read":
+        if delay < 0:
+            raise ConfigError("delay must be >= 0")
+
+        def hook(offset: int, nbytes: int, _d: float = float(delay)) -> None:
+            time.sleep(_d)
+
+    elif kind == "raise-on-nth-read":
+        if fail_reads < 1:
+            raise ConfigError("fail_reads must be >= 1")
+        remaining = [int(fail_reads)]
+        exc = error if error is not None else DegradedReadError(
+            key, reason="injected transient read failure"
+        )
+        lock = threading.Lock()
+
+        def hook(offset: int, nbytes: int) -> None:
+            with lock:
+                if remaining[0] <= 0:
+                    return
+                remaining[0] -= 1
+            raise exc
+
+    else:
+        raise ConfigError(f"unknown read-fault kind {kind!r}")
+    with _hooks_lock:
+        _hooks[key] = hook
+        FileBackend.read_fault_hook = _dispatch
+
+
+def clear_read_faults(path: str | os.PathLike | None = None) -> None:
+    """Remove the fault for ``path`` (or all faults when ``None``)."""
+    with _hooks_lock:
+        if path is None:
+            _hooks.clear()
+        else:
+            _hooks.pop(_normalize(path), None)
+        if not _hooks:
+            FileBackend.read_fault_hook = None
+
+
+@contextmanager
+def read_faults(**per_path: dict) -> Iterator[None]:
+    """Context manager form: ``read_faults(**{path: {"kind": ...}})``."""
+    for path, spec in per_path.items():
+        install_read_fault(path, **spec)
+    try:
+        yield
+    finally:
+        for path in per_path:
+            clear_read_faults(path)
+
+
+# ---------------------------------------------------------------------------
+# on-disk faults
+# ---------------------------------------------------------------------------
+
+KINDS = ("bit-flip", "truncate", "vanish", "slow-read", "raise-on-nth-read")
+
+
+class FaultInjector:
+    """Seeded source of reproducible storage faults.
+
+    One injector = one deterministic scenario: victim selection
+    (:meth:`choose`), per-victim offsets, and truncation points all come
+    from the injector's private RNG, so a test or benchmark that logs its
+    seed can be replayed bit-for-bit.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self.rng = random.Random(self.seed)
+        self.injected: list[tuple[str, str]] = []  # (kind, path) log
+
+    def choose(self, paths: Sequence[str], fraction: float = 0.05, at_least: int = 1) -> list[str]:
+        """Pick ``max(at_least, round(fraction * len(paths)))`` victims,
+        deterministically for this seed, preserving input order."""
+        if not 0 <= fraction <= 1:
+            raise ConfigError("fraction must be in [0, 1]")
+        paths = [os.fspath(p) for p in paths]
+        count = min(len(paths), max(int(at_least), round(fraction * len(paths))))
+        victims = set(self.rng.sample(range(len(paths)), count))
+        return [p for i, p in enumerate(paths) if i in victims]
+
+    # -- individual faults ---------------------------------------------------
+    def _data_region(self, path: str) -> tuple[int, int]:
+        """The ``[start, end)`` byte range holding raw dataset bytes."""
+        with open(path, "rb") as fh:
+            header = Header.unpack(fh.read(HEADER_SIZE))
+        end = header.meta_offset if header.meta_offset > HEADER_SIZE else os.path.getsize(path)
+        return HEADER_SIZE, end
+
+    def bit_flip(self, path: str | os.PathLike) -> int:
+        """Flip one random bit inside the data region; returns the byte
+        offset flipped.  Metadata stays intact, so the file still opens —
+        only checksums can tell the payload changed."""
+        path = os.fspath(path)
+        lo, hi = self._data_region(path)
+        if hi <= lo:
+            raise ConfigError(f"{path}: no data region to corrupt")
+        offset = self.rng.randrange(lo, hi)
+        bit = self.rng.randrange(8)
+        with open(path, "r+b") as fh:
+            fh.seek(offset)
+            byte = fh.read(1)[0]
+            fh.seek(offset)
+            fh.write(bytes([byte ^ (1 << bit)]))
+        self.injected.append(("bit-flip", path))
+        return offset
+
+    def truncate(self, path: str | os.PathLike, keep_fraction: float = 0.5) -> int:
+        """Cut the file to ``header + keep_fraction`` of its data region
+        (the classic mid-write acquisition crash); returns the new size."""
+        if not 0 <= keep_fraction < 1:
+            raise ConfigError("keep_fraction must be in [0, 1)")
+        path = os.fspath(path)
+        lo, hi = self._data_region(path)
+        new_size = lo + int((hi - lo) * keep_fraction)
+        with open(path, "r+b") as fh:
+            fh.truncate(new_size)
+        self.injected.append(("truncate", path))
+        return new_size
+
+    def vanish(self, path: str | os.PathLike) -> None:
+        """Remove the file (swept away mid-campaign)."""
+        path = os.fspath(path)
+        os.remove(path)
+        self.injected.append(("vanish", path))
+
+    def slow_read(self, path: str | os.PathLike, delay: float = 0.05) -> None:
+        """Make every backend read of ``path`` take ``delay`` extra seconds."""
+        install_read_fault(path, "slow-read", delay=delay)
+        self.injected.append(("slow-read", os.fspath(path)))
+
+    def raise_on_nth_read(
+        self, path: str | os.PathLike, fail_reads: int = 1, error: Exception | None = None
+    ) -> None:
+        """Fail the next ``fail_reads`` backend reads of ``path``, then
+        recover — the transient fault bounded retry exists for."""
+        install_read_fault(path, "raise-on-nth-read", fail_reads=fail_reads, error=error)
+        self.injected.append(("raise-on-nth-read", os.fspath(path)))
+
+    def inject(self, kind: str, path: str | os.PathLike, **kwargs) -> None:
+        """Dispatch by kind name (the fault-matrix parametrisation entry)."""
+        if kind not in KINDS:
+            raise ConfigError(f"unknown fault kind {kind!r}; known: {KINDS}")
+        getattr(self, kind.replace("-", "_"))(path, **kwargs)

@@ -1,0 +1,106 @@
+"""Runtime failure policy shared by the batch execution layers.
+
+A :class:`FailurePolicy` says what an executor does when a unit of work
+(an ApplyMT task, a streamed pipeline chunk, a parallel-read source)
+fails: how many times to retry (with what backoff), how long a task may
+run before a straggler copy is speculatively re-dispatched, and whether
+a persistent failure kills the run (``fail_fast``) or yields a
+fill-valued gap that is *reported* alongside the result (``continue``).
+
+:func:`retry_call` is the one bounded-retry-with-backoff loop used by
+every layer, so retry semantics (which exceptions are retryable, how
+backoff grows) are identical from ``parallel_read`` up to ``apply_mt``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.errors import ConfigError, ReproError
+
+T = TypeVar("T")
+
+FAIL_FAST = "fail_fast"
+CONTINUE = "continue"
+
+#: Exceptions worth retrying: framework-level failures and OS-level I/O
+#: errors.  Programming errors (TypeError, ...) always propagate.
+RETRYABLE = (ReproError, OSError)
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """What to do when a unit of work fails.
+
+    ``mode`` — ``"fail_fast"`` raises the typed error after retries are
+    exhausted; ``"continue"`` fills the failed unit's output with
+    ``fill`` and records the loss (a reported gap, not a crash).
+    ``retries`` — re-executions after the first failure (0 = one shot).
+    ``backoff`` — seconds slept before retry *k* is ``backoff * 2**k``
+    (0 disables sleeping; tests use 0).
+    ``timeout`` — seconds a task may run before an idle worker
+    speculatively re-dispatches it (``None`` disables straggler copies).
+    ``fill`` — the value written into outputs lost to a failed unit.
+    """
+
+    mode: str = FAIL_FAST
+    retries: int = 1
+    backoff: float = 0.0
+    timeout: float | None = None
+    fill: float = float("nan")
+
+    def __post_init__(self) -> None:
+        if self.mode not in (FAIL_FAST, CONTINUE):
+            raise ConfigError(f"mode must be 'fail_fast' or 'continue', got {self.mode!r}")
+        if self.retries < 0:
+            raise ConfigError("retries must be >= 0")
+        if self.backoff < 0:
+            raise ConfigError("backoff must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigError("timeout must be > 0 (or None)")
+
+    @property
+    def fail_fast(self) -> bool:
+        return self.mode == FAIL_FAST
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One unit of work given up on under a ``continue`` policy."""
+
+    unit: str
+    attempts: int
+    error: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.unit}: {self.error} (after {self.attempts} attempts)"
+
+
+def retry_call(
+    fn: Callable[[], T],
+    retries: int = 1,
+    backoff: float = 0.0,
+    retry_on: tuple = RETRYABLE,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn`` with bounded retry and exponential backoff.
+
+    Attempt *k* (0-based) failing with an exception in ``retry_on``
+    sleeps ``backoff * 2**k`` and retries, up to ``retries`` re-runs;
+    the final failure propagates unchanged (callers wrap it in the typed
+    taxonomy with their own path/offset context).
+    """
+    if retries < 0:
+        raise ConfigError("retries must be >= 0")
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retry_on:
+            if attempt >= retries:
+                raise
+            if backoff > 0:
+                sleep(backoff * (2**attempt))
+            attempt += 1

@@ -25,6 +25,7 @@ data region.
 
 from repro.hdf5lite.attributes import Attributes
 from repro.hdf5lite.cache import BlockCache, CacheConfig, FilePool
+from repro.hdf5lite.checksum import add_checksums, checksum_dataset, checksum_info
 from repro.hdf5lite.dataset import Dataset
 from repro.hdf5lite.file import File, Group
 from repro.hdf5lite.hyperslab import (
@@ -47,6 +48,9 @@ __all__ = [
     "BlockCache",
     "CacheConfig",
     "FilePool",
+    "add_checksums",
+    "checksum_dataset",
+    "checksum_info",
     "normalize_selection",
     "selection_shape",
     "coalesce_runs",

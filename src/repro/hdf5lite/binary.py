@@ -54,6 +54,12 @@ class Header:
 class FileBackend:
     """Instrumented positioned-I/O wrapper around a binary file."""
 
+    #: Optional fault-injection hook ``hook(path, offset, nbytes)`` called
+    #: before every positioned read.  ``None`` (the default) costs one
+    #: attribute load per read; :mod:`repro.faults.inject` installs a
+    #: dispatcher here to simulate slow and transiently-failing devices.
+    read_fault_hook = None
+
     def __init__(self, path: str | os.PathLike, mode: str, iostats: IOStats | None = None):
         if mode not in ("rb", "r+b", "w+b"):
             raise ValueError(f"unsupported backend mode {mode!r}")
@@ -93,6 +99,9 @@ class FileBackend:
 
     def read_at(self, offset: int, nbytes: int) -> bytes:
         """One positioned read == one I/O request."""
+        hook = FileBackend.read_fault_hook
+        if hook is not None:
+            hook(self.path, offset, nbytes)
         with self._io_lock:
             self._seek(offset)
             data = self._fh.read(nbytes)
@@ -106,6 +115,9 @@ class FileBackend:
 
     def readinto_at(self, offset: int, buffer: memoryview) -> None:
         """Positioned read directly into a writable buffer (no copy)."""
+        hook = FileBackend.read_fault_hook
+        if hook is not None:
+            hook(self.path, offset, len(buffer))
         with self._io_lock:
             self._seek(offset)
             got = self._fh.readinto(buffer)

@@ -205,12 +205,14 @@ class FilePool:
         max_handles: int = DEFAULT_MAX_HANDLES,
         iostats: IOStats | None = None,
         cache: BlockCache | None = None,
+        verify_checksums: bool = True,
     ):
         if max_handles < 1:
             raise FormatError(f"max_handles must be >= 1, got {max_handles}")
         self.max_handles = max_handles
         self.iostats = iostats
         self.cache = cache
+        self.verify_checksums = bool(verify_checksums)
         self._lock = threading.RLock()
         self._handles: OrderedDict[str, "File"] = OrderedDict()
         self.hits = 0
@@ -237,7 +239,14 @@ class FilePool:
             self.misses += 1
             if stats is not None:
                 stats.record_pool_miss()
-            handle = File(key, "r", iostats=stats, cache=self.cache, pool=self)
+            handle = File(
+                key,
+                "r",
+                iostats=stats,
+                cache=self.cache,
+                pool=self,
+                verify_checksums=self.verify_checksums,
+            )
             self._handles[key] = handle
             while len(self._handles) > self.max_handles:
                 _, victim = self._handles.popitem(last=False)

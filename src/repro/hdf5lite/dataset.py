@@ -14,9 +14,15 @@ from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
-from repro.errors import FormatError, SelectionError
+from repro.errors import FormatError, ReproError, SelectionError
 from repro.hdf5lite import dtype as _dtype
 from repro.hdf5lite.attributes import Attributes
+from repro.hdf5lite.checksum import (
+    ChecksumInfo,
+    checksum_info,
+    update_contiguous_crcs,
+    verify_block,
+)
 from repro.hdf5lite.hyperslab import (
     Hyperslab,
     coalesce_runs,
@@ -112,6 +118,37 @@ class Dataset:
             raise TypeError("len() of a 0-d dataset")
         return self.shape[0]
 
+    # -- checksums ---------------------------------------------------------------
+    def _checksums(self) -> "ChecksumInfo | None":
+        """The parsed checksum sidecar when read-side verification applies.
+
+        ``None`` when the dataset carries no sidecar or the file was opened
+        with ``verify_checksums=False``.  Parsed once per Dataset object.
+        """
+        if not self._file.verify_checksums:
+            return None
+        cache = self._file._crc_cache
+        if self.path in cache:
+            return cache[self.path]
+        info = checksum_info(self)
+        cache[self.path] = info
+        return info
+
+    def _load_block(
+        self, base: int, region_nbytes: int, info: "ChecksumInfo", block_idx: int
+    ) -> bytes:
+        """Read checksum block ``block_idx`` of the data region, verified."""
+        bs = info.block_size
+        off = block_idx * bs
+        n = min(bs, region_nbytes - off)
+        data = self._file._backend.read_at(base + off, n)
+        if block_idx < len(info.crcs):
+            verify_block(
+                self._file.filename, base + off, data, info.crcs[block_idx],
+                what=f"block {block_idx}",
+            )
+        return data
+
     # -- reading ---------------------------------------------------------------
     def __getitem__(self, selection: object) -> np.ndarray:
         hs, squeeze = normalize_selection(selection, self.shape)
@@ -142,6 +179,9 @@ class Dataset:
         cache = self._file._cache
         if cache is not None and cache.enabled:
             return self._read_contiguous_cached(hs, cache)
+        info = self._checksums()
+        if info is not None and not info.chunked:
+            return self._read_contiguous_verified(hs, info)
         base = int(self._meta["offset"])
         itemsize = self.itemsize
         out = np.empty(hs.size, dtype=self.dtype)
@@ -157,6 +197,41 @@ class Dataset:
             cursor += nbytes
         return out.reshape(hs.count)
 
+    def _read_contiguous_verified(self, hs: Hyperslab, info: "ChecksumInfo") -> np.ndarray:
+        """Uncached contiguous read with CRC verification.
+
+        Bytes can only be verified at checksum-block granularity, so each
+        needed element run is served from whole blocks, each read and
+        verified once per call.  Runs arrive in ascending offset order;
+        blocks behind the current run are dropped to bound memory.
+        """
+        base = int(self._meta["offset"])
+        itemsize = self.itemsize
+        region = self.nbytes
+        bs = info.block_size
+        out = np.empty(hs.size, dtype=self.dtype)
+        view = memoryview(out.view(np.uint8)).cast("B")
+        cursor = 0
+        blocks: dict[int, bytes] = {}
+        for elem_offset, elem_count in contiguous_runs(hs, self.shape):
+            lo = elem_offset * itemsize
+            hi = lo + elem_count * itemsize
+            first = lo // bs
+            for stale in [b for b in blocks if b < first]:
+                del blocks[stale]
+            dest = view[cursor : cursor + (hi - lo)]
+            pos = 0
+            for b in range(first, (hi - 1) // bs + 1):
+                data = blocks.get(b)
+                if data is None:
+                    data = blocks[b] = self._load_block(base, region, info, b)
+                blo = max(lo, b * bs)
+                bhi = min(hi, b * bs + len(data))
+                dest[pos : pos + (bhi - blo)] = data[blo - b * bs : bhi - b * bs]
+                pos += bhi - blo
+            cursor += hi - lo
+        return out.reshape(hs.count)
+
     def _page_read(
         self,
         cache: "BlockCache",
@@ -164,6 +239,7 @@ class Dataset:
         region_nbytes: int,
         rel_offset: int,
         dest: memoryview,
+        info: "ChecksumInfo | None" = None,
     ) -> None:
         """Fill ``dest`` with dataset bytes ``[rel_offset, rel_offset+len)``
         via the page cache.
@@ -171,7 +247,10 @@ class Dataset:
         Pages are ``page_size``-aligned within the dataset's own data
         region (byte 0 = ``base`` in the file), so a page never straddles
         the metadata footer or another dataset.  A missing page costs one
-        backend request for the whole page; hits cost nothing.
+        backend request for the whole page; hits cost nothing.  With a
+        checksum sidecar (``info``), a missing page is assembled from
+        verified checksum blocks — cache hits are verified-at-admission,
+        so the warm path pays no CRC cost.
         """
         backend = self._file._backend
         stats = backend.iostats
@@ -185,18 +264,50 @@ class Dataset:
             key = (self._file._cache_key, "page", base, page)
             data = cache.get(key, stats)
             if data is None:
-                buf = bytearray(page_len)
-                backend.readinto_at(base + page_off, memoryview(buf))
-                data = bytes(buf)
+                if info is not None:
+                    data = self._page_from_blocks(
+                        base, region_nbytes, info, page_off, page_len
+                    )
+                else:
+                    buf = bytearray(page_len)
+                    backend.readinto_at(base + page_off, memoryview(buf))
+                    data = bytes(buf)
                 cache.put(key, data, stats)
             lo = max(rel_offset, page_off)
             hi = min(rel_offset + nbytes, page_off + page_len)
             dest[lo - rel_offset : hi - rel_offset] = data[lo - page_off : hi - page_off]
 
+    def _page_from_blocks(
+        self,
+        base: int,
+        region_nbytes: int,
+        info: "ChecksumInfo",
+        page_off: int,
+        page_len: int,
+    ) -> bytes:
+        """Assemble one cache page from verified checksum blocks.
+
+        With the default configuration (page size == checksum block size,
+        both region-aligned) this is exactly one backend read plus one CRC.
+        """
+        bs = info.block_size
+        first = page_off // bs
+        last = (page_off + page_len - 1) // bs
+        parts = []
+        for b in range(first, last + 1):
+            data = self._load_block(base, region_nbytes, info, b)
+            lo = max(page_off, b * bs)
+            hi = min(page_off + page_len, b * bs + len(data))
+            parts.append(data[lo - b * bs : hi - b * bs])
+        return parts[0] if len(parts) == 1 else b"".join(parts)
+
     def _read_contiguous_cached(self, hs: Hyperslab, cache: "BlockCache") -> np.ndarray:
         base = int(self._meta["offset"])
         itemsize = self.itemsize
         region_nbytes = self.nbytes
+        info = self._checksums()
+        if info is not None and info.chunked:
+            info = None
         out = np.empty(hs.size, dtype=self.dtype)
         view = memoryview(out.view(np.uint8)).cast("B")
         cursor = 0
@@ -208,13 +319,15 @@ class Dataset:
                 nbytes = span_count * itemsize
                 self._page_read(
                     cache, base, region_nbytes, span_off * itemsize,
-                    view[cursor : cursor + nbytes],
+                    view[cursor : cursor + nbytes], info,
                 )
                 cursor += nbytes
                 continue
             # Gap-coalesced span: one cached fetch, then scatter the runs.
             scratch = memoryview(bytearray(span_count * itemsize))
-            self._page_read(cache, base, region_nbytes, span_off * itemsize, scratch)
+            self._page_read(
+                cache, base, region_nbytes, span_off * itemsize, scratch, info
+            )
             for elem_offset, elem_count in pieces:
                 nbytes = elem_count * itemsize
                 rel = (elem_offset - span_off) * itemsize
@@ -239,6 +352,8 @@ class Dataset:
 
         chunks = self.chunks
         assert chunks is not None
+        info = self._checksums()
+        chunk_crcs = info.chunk_crcs if info is not None and info.chunked else None
         out = np.empty(hs.count, dtype=self.dtype)
         sel_slab = hs
         index: dict[str, int] = self._meta["chunk_index"]
@@ -268,6 +383,8 @@ class Dataset:
                 if key not in index:
                     raise FormatError(f"missing chunk {key} in {self.path}")
                 chunk_offset = int(index[key])
+                crc_expected = chunk_crcs.get(key) if chunk_crcs is not None else None
+                crc_what = f"chunk {key}"
                 # Selection local to the chunk's own coordinates.
                 local = Hyperslab(
                     start=tuple(
@@ -293,7 +410,28 @@ class Dataset:
                         buf = bytearray(chunk_nbytes)
                         backend.readinto_at(chunk_offset, memoryview(buf))
                         raw = bytes(buf)
+                        if crc_expected is not None:
+                            verify_block(
+                                self._file.filename, chunk_offset, raw,
+                                crc_expected, what=crc_what,
+                            )
                         cache.put(key, raw, backend.iostats)
+                    chunk_arr = np.frombuffer(raw, dtype=self.dtype).reshape(
+                        chunk_count
+                    )
+                    local_sel = tuple(
+                        slice(s, s + n)
+                        for s, n in zip(local.start, local.count)
+                    )
+                    out[dest] = chunk_arr[local_sel]
+                elif crc_expected is not None:
+                    # Verification needs the whole chunk's bytes; read it
+                    # once, verify, slice in memory.
+                    raw = backend.read_at(chunk_offset, chunk_nbytes)
+                    verify_block(
+                        self._file.filename, chunk_offset, raw,
+                        crc_expected, what=crc_what,
+                    )
                     chunk_arr = np.frombuffer(raw, dtype=self.dtype).reshape(
                         chunk_count
                     )
@@ -343,18 +481,35 @@ class Dataset:
 
         fill = self._meta.get("fill", 0)
         out = np.full(hs.count, fill, dtype=self.dtype)
+        handler = self._file.on_source_error
+        skip = self._file.skip_sources
         for source in self.virtual_sources:
             overlap = intersect(hs, source.dst_slab())
             if overlap is None:
                 continue
-            src_slab = source.src_slab_for(overlap)
-            src_file = self._file._resolve_source(source.file)
-            src_ds = src_file.dataset(source.dataset)
-            piece = src_ds.read_hyperslab(src_slab)
             dest = tuple(
                 slice(o - s, o - s + n)
                 for o, s, n in zip(overlap.start, hs.start, overlap.count)
             )
+            if skip and source.file in skip:
+                # Blacklisted by a previous degraded read: don't touch the
+                # source again, leave its span masked.
+                if self._file.source_fill is not None:
+                    out[dest] = self._file.source_fill
+                continue
+            src_slab = source.src_slab_for(overlap)
+            try:
+                src_file = self._file._resolve_source(source.file)
+                src_ds = src_file.dataset(source.dataset)
+                piece = src_ds.read_hyperslab(src_slab)
+            except (ReproError, OSError, KeyError) as exc:
+                if handler is None:
+                    raise
+                mask_fill = handler(source, overlap, exc)
+                if mask_fill is None:
+                    raise
+                out[dest] = mask_fill
+                continue
             out[dest] = piece.astype(self.dtype, copy=False)
         return out
 
@@ -389,6 +544,7 @@ class Dataset:
         view = memoryview(flat).cast("B")
         cursor = 0
         backend = self._file._backend
+        byte_lo, byte_hi = None, 0
         for elem_offset, elem_count in contiguous_runs(hs, self.shape):
             nbytes = elem_count * itemsize
             backend.write_at(
@@ -396,7 +552,14 @@ class Dataset:
                 view[cursor : cursor + nbytes],
             )
             cursor += nbytes
+            run_lo = elem_offset * itemsize
+            byte_lo = run_lo if byte_lo is None else min(byte_lo, run_lo)
+            byte_hi = max(byte_hi, run_lo + nbytes)
         self._file._invalidate_cache()
+        if byte_lo is not None:
+            # Keep any checksum sidecar true to the new bytes (writers
+            # update it even when read-side verification is off).
+            update_contiguous_crcs(self, byte_lo, byte_hi)
 
     # -- streaming ---------------------------------------------------------------
     def iter_blocks(self, rows_per_block: int):

@@ -160,6 +160,8 @@ class Group:
         chunks: Sequence[int] | None = None,
         virtual_sources: Sequence[VirtualSource] | None = None,
         fill: float = 0,
+        checksum: bool = False,
+        checksum_block: int | None = None,
     ) -> Dataset:
         """Create a dataset under this group.
 
@@ -168,6 +170,11 @@ class Group:
         * ``virtual_sources`` given → virtual dataset (``shape`` required),
         * ``chunks`` given → chunked (``data`` required),
         * otherwise → contiguous (``data`` or ``shape``+``dtype``).
+
+        ``checksum=True`` stores a per-block CRC32 sidecar (see
+        :mod:`repro.hdf5lite.checksum`) verified on every subsequent read;
+        ``checksum_block`` overrides the contiguous block size.  Virtual
+        datasets hold no local bytes, so the flag is a no-op for them.
         """
         if not self._file.writable:
             raise FormatError("file is not writable")
@@ -262,7 +269,17 @@ class Group:
 
         parent._node["datasets"][ds_name] = meta
         self._file._mark_dirty()
-        return self._file._dataset_for(parent._child_path(ds_name), meta)
+        ds = self._file._dataset_for(parent._child_path(ds_name), meta)
+        if checksum and meta["layout"] != LAYOUT_VIRTUAL:
+            from repro.hdf5lite.checksum import DEFAULT_CHECKSUM_BLOCK, checksum_dataset
+
+            checksum_dataset(
+                ds,
+                block_size=(
+                    checksum_block if checksum_block is not None else DEFAULT_CHECKSUM_BLOCK
+                ),
+            )
+        return ds
 
     def __repr__(self) -> str:
         return f"<Group {self.path!r} ({len(self)} members)>"
@@ -282,6 +299,7 @@ class File(Group):
         iostats: IOStats | None = None,
         cache: BlockCache | CacheConfig | None = None,
         pool: FilePool | None = None,
+        verify_checksums: bool = True,
     ):
         """Open a file.
 
@@ -292,6 +310,11 @@ class File(Group):
         ``pool`` — an optional :class:`FilePool`; when given, virtual-source
         files are acquired from the pool (shared, kept open) instead of
         being opened privately by this handle.
+        ``verify_checksums`` — when True (default), reads of datasets that
+        carry a ``repro:crc32`` sidecar verify each block as it is loaded
+        and raise :class:`~repro.errors.CorruptDataError` on mismatch;
+        False skips verification (unchecksummed files are unaffected
+        either way).
         """
         path = os.fspath(path)
         if mode == "a":
@@ -301,7 +324,22 @@ class File(Group):
         self.filename = path
         self.mode = mode
         self.writable = mode != "r"
+        self.verify_checksums = bool(verify_checksums)
+        #: Degraded-read hook for virtual datasets: ``handler(source,
+        #: overlap, exc) -> fill | None`` — return a fill value to mask the
+        #: failed source's span, or ``None`` to re-raise.  Installed by
+        #: ``storage.open_vca(on_error="mask"/"skip")``; ``None`` (default)
+        #: keeps reads fail-fast.
+        self.on_source_error = None
+        #: Source paths (as written in the virtual layout) to skip without
+        #: attempting a read; their spans are filled with ``source_fill``
+        #: (or the dataset fill when ``None``).
+        self.skip_sources: set[str] = set()
+        self.source_fill: float | None = None
         self._dirty = False
+        # Parsed checksum sidecars by dataset path (Dataset objects are
+        # created per access, so the parse cache must live on the file).
+        self._crc_cache: dict[str, Any] = {}
         self._source_cache: dict[str, File] = {}
         self._cache = resolve_cache(cache)
         self._pool = pool
@@ -370,7 +408,11 @@ class File(Group):
         if cached is not None and not cached._backend.closed:
             return cached
         src = File(
-            source_path, "r", iostats=self._backend.iostats, cache=self._cache
+            source_path,
+            "r",
+            iostats=self._backend.iostats,
+            cache=self._cache,
+            verify_checksums=self.verify_checksums,
         )
         self._source_cache[source_path] = src
         return src

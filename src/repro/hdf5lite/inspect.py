@@ -3,8 +3,9 @@
 ``describe`` renders a file's tree; ``verify`` walks every object and
 checks the structural invariants a reader relies on — dataset extents
 inside the data region, chunk indexes complete, virtual sources
-resolvable — returning a list of problems instead of raising, so
-operators can triage a damaged acquisition directory.
+resolvable, checksum sidecars matching the stored bytes — returning a
+list of problems instead of raising, so operators can triage a damaged
+acquisition directory.
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.errors import FormatError
 from repro.hdf5lite.binary import HEADER_SIZE
+from repro.hdf5lite.checksum import verify_dataset
 from repro.hdf5lite.dataset import (
     LAYOUT_CHUNKED,
     LAYOUT_CONTIGUOUS,
@@ -146,6 +148,12 @@ def verify(file: File, check_sources: bool = True) -> list[Problem]:
                     )
         else:
             problems.append(Problem(ds.path, f"unknown layout {layout!r}"))
+        if layout in (LAYOUT_CONTIGUOUS, LAYOUT_CHUNKED):
+            try:
+                for _offset, message in verify_dataset(ds):
+                    problems.append(Problem(ds.path, message))
+            except FormatError as exc:
+                problems.append(Problem(ds.path, f"bad checksum sidecar: {exc}"))
 
     def walk(group: Group) -> None:
         for name in group.keys():

@@ -16,8 +16,10 @@ import os
 
 import numpy as np
 
-from repro.errors import StorageError
+from repro.errors import ReproError, StorageError
+from repro.faults.policy import retry_call
 from repro.storage.dasfile import DASFile
+from repro.storage.gaps import GapMap
 
 CHECKPOINT_VERSION = 1
 CHECKPOINT_NAME = ".das_rt_checkpoint.json"
@@ -64,7 +66,14 @@ class CheckpointStore:
 
 
 def read_sample_range(
-    files: list[tuple[str, int]], lo: int, hi: int
+    files: list[tuple[str, int]],
+    lo: int,
+    hi: int,
+    on_error: str = "raise",
+    fill_value: float = float("nan"),
+    gaps: GapMap | None = None,
+    retries: int = 1,
+    backoff: float = 0.0,
 ) -> np.ndarray:
     """Re-read raw samples ``[lo, hi)`` of the concatenated record.
 
@@ -72,10 +81,22 @@ def read_sample_range(
     checkpoint's ``files_done``.  Only the overlapping slice of each
     file is read (partial reads through :class:`DASFile`), which is how a
     resume rebuilds the carried tail without re-reading whole files.
+
+    Each file read is retried up to ``retries`` times (exponential
+    ``backoff``) — the same degraded-read semantics as the parallel VCA
+    readers.  With ``on_error="mask"``, a file that stays unreadable
+    (corrupted, truncated, vanished) contributes a ``fill_value`` span
+    recorded in ``gaps`` instead of killing the whole range read; with
+    the default ``"raise"`` the typed error propagates.  At least one
+    file must be readable in mask mode — the channel count comes from a
+    real block.
     """
     if lo < 0 or hi < lo:
         raise StorageError(f"bad sample range [{lo}, {hi})")
-    pieces: list[np.ndarray] = []
+    if on_error not in ("raise", "mask"):
+        raise StorageError(f"on_error must be 'raise' or 'mask', got {on_error!r}")
+    # (absolute_lo, width, array-or-None, path, reason)
+    pieces: list[tuple[int, int, np.ndarray | None, str, str | None]] = []
     offset = 0
     for path, n_samples in files:
         n_samples = int(n_samples)
@@ -85,17 +106,49 @@ def read_sample_range(
             continue
         a = max(lo, file_lo) - file_lo
         b = min(hi, file_hi) - file_lo
-        with DASFile(path) as handle:
-            pieces.append(np.asarray(handle.data[:, a:b], dtype=np.float64))
+
+        def read_slice() -> np.ndarray:
+            with DASFile(path) as handle:
+                return np.asarray(handle.data[:, a:b], dtype=np.float64)
+
+        try:
+            block = retry_call(
+                read_slice,
+                retries=retries,
+                backoff=backoff,
+                retry_on=(ReproError, OSError, KeyError),
+            )
+            pieces.append((file_lo + a, b - a, block, path, None))
+        except (ReproError, OSError, KeyError) as exc:
+            if on_error == "raise":
+                raise
+            reason = f"{type(exc).__name__}: {exc}"
+            pieces.append((file_lo + a, b - a, None, path, reason))
     if offset < hi:
         raise StorageError(
             f"checkpointed files cover {offset} samples but the carried "
             f"tail needs [{lo}, {hi})"
         )
-    if not pieces:
+    real = [block for _, _, block, _, _ in pieces if block is not None]
+    if not real:
+        if any(block is None for _, _, block, _, _ in pieces):
+            raise StorageError(
+                f"every file covering [{lo}, {hi}) is unreadable; cannot "
+                "even determine the channel count"
+            )
         n_channels = 0
         if files:
             with DASFile(files[0][0]) as handle:
                 n_channels = handle.data.shape[0]
         return np.zeros((n_channels, 0))
-    return np.concatenate(pieces, axis=1)
+    n_channels = real[0].shape[0]
+    out: list[np.ndarray] = []
+    for abs_lo, width, block, path, reason in pieces:
+        if block is None:
+            block = np.full((n_channels, width), fill_value)
+            if gaps is not None:
+                gaps.record(
+                    path, abs_lo, abs_lo + width, reason, attempts=retries + 1
+                )
+        out.append(block)
+    return np.concatenate(out, axis=1)

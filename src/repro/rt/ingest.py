@@ -155,14 +155,19 @@ class Quarantine:
     """Append-only record of files the service gave up on.
 
     Each entry is one JSONL line in ``<spool>/.das_quarantine.jsonl``
-    (``name``, ``reason``, ``attempts``); quarantined names are loaded
-    back on restart so a poison file is never retried across runs.
+    (``name``, ``reason``, ``attempts``, and — when the failure was an
+    exception — a structured ``error`` object carrying the exception
+    type and its :class:`~repro.errors.ReproError` taxonomy chain);
+    quarantined names are loaded back on restart so a poison file is
+    never retried across runs.  Entries written before the structured
+    ``error`` field existed load fine — the field is optional on read.
     """
 
     def __init__(self, directory: str):
         self.directory = os.fspath(directory)
         self.path = os.path.join(self.directory, QUARANTINE_NAME)
         self.reasons: dict[str, str] = {}
+        self.errors: dict[str, dict | None] = {}
         if os.path.exists(self.path):
             with open(self.path, encoding="utf-8") as handle:
                 for line in handle:
@@ -171,6 +176,7 @@ class Quarantine:
                         continue
                     entry = json.loads(line)
                     self.reasons[entry["name"]] = entry.get("reason", "")
+                    self.errors[entry["name"]] = entry.get("error")
 
     def __len__(self) -> int:
         return len(self.reasons)
@@ -182,10 +188,38 @@ class Quarantine:
         """Full spool paths of every quarantined name."""
         return [os.path.join(self.directory, name) for name in self.reasons]
 
-    def add(self, path: str, reason: str, attempts: int) -> None:
+    @staticmethod
+    def describe_error(error: BaseException) -> dict:
+        """The shared-taxonomy description of a failure: the concrete
+        exception type plus its :class:`~repro.errors.ReproError` ancestry
+        (so tooling can group quarantines by ``StorageError`` vs
+        ``ConfigError`` without string-matching messages)."""
+        from repro.errors import ReproError
+
+        taxonomy = [
+            klass.__name__
+            for klass in type(error).__mro__
+            if issubclass(klass, ReproError)
+        ]
+        return {
+            "type": type(error).__name__,
+            "taxonomy": taxonomy,
+            "message": str(error),
+        }
+
+    def add(
+        self,
+        path: str,
+        reason: str,
+        attempts: int,
+        error: BaseException | None = None,
+    ) -> None:
         """Record one given-up file with the failure that condemned it."""
         name = os.path.basename(os.fspath(path))
         self.reasons[name] = reason
         entry = {"name": name, "reason": reason, "attempts": int(attempts)}
+        if error is not None:
+            entry["error"] = self.describe_error(error)
+        self.errors[name] = entry.get("error")
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(entry) + "\n")

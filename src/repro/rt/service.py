@@ -107,6 +107,7 @@ class RTService:
         self._record: str = ""  # base timestamp naming the current record
         self._expected_stamp: str | None = None
         self._since_checkpoint = 0
+        self.resume_error: str | None = None
         self.catalog: Catalog | None = None
         self.watcher.mark_known(self.quarantine.paths())
         payload = self.checkpoints.load()
@@ -115,7 +116,15 @@ class RTService:
 
     # -- resume -------------------------------------------------------------
     def _resume(self, payload: dict) -> None:
-        """Rebuild carried state from a checkpoint (tail digest-verified)."""
+        """Rebuild carried state from a checkpoint (tail digest-verified).
+
+        A tail file that turned unreadable (corrupted, truncated,
+        vanished) between checkpoint and resume must not kill the
+        service: the carried detector state is dropped — the record is
+        started fresh at the next file — and the failure is kept in
+        :attr:`resume_error`.  Already-processed files stay marked as
+        known either way, so nothing is double-ingested.
+        """
         self.files_done = [
             (str(name), int(n)) for name, n in payload.get("files_done", [])
         ]
@@ -129,9 +138,21 @@ class RTService:
         if runner_state is not None:
             lo = int(runner_state["buf_start"])
             hi = int(runner_state["seen"])
-            tail = read_sample_range(
-                [(path, n) for path, n in self._file_spans()], lo, hi
-            )
+            try:
+                tail = read_sample_range(
+                    [(path, n) for path, n in self._file_spans()], lo, hi
+                )
+            except (ReproError, OSError) as exc:
+                # Unreadable tail: degrade, don't die.  A *readable* tail
+                # whose samples changed still fails the digest check in
+                # import_state below — tampering raises, loss degrades.
+                self.resume_error = f"{type(exc).__name__}: {exc}"
+                self.scheduler.reset()
+                self.assembler = None
+                self.files_done = []
+                self._record = ""
+                self._expected_stamp = None
+                return
             self.scheduler.import_state(runner_state, tail)
         assembler_state = payload.get("assembler")
         if assembler_state is not None:
@@ -207,11 +228,17 @@ class RTService:
         return written
 
     # -- per-file processing ------------------------------------------------
-    def _fail(self, path: str, reason: str, permanent: bool) -> None:
+    def _fail(
+        self,
+        path: str,
+        reason: str,
+        permanent: bool,
+        error: BaseException | None = None,
+    ) -> None:
         attempts = self._attempts.get(path, 0) + 1
         self._attempts[path] = attempts
         if permanent or attempts >= self.config.max_retries:
-            self.quarantine.add(path, reason, attempts)
+            self.quarantine.add(path, reason, attempts, error=error)
             self.metrics.files_quarantined += 1
             self._attempts.pop(path, None)
         else:
@@ -228,11 +255,13 @@ class RTService:
             self.metrics.stage("read").record(self.metrics.clock() - read_t0)
             if data.size == 0:
                 raise ConfigError("file holds no samples")
-        except FileNotFoundError:
-            self._fail(path, "file vanished before it could be read", True)
+        except FileNotFoundError as exc:
+            self._fail(
+                path, "file vanished before it could be read", True, error=exc
+            )
             return False
         except (ReproError, OSError) as exc:
-            self._fail(path, str(exc), False)
+            self._fail(path, str(exc), False, error=exc)
             return False
 
         stamp = meta.timestamp
@@ -256,7 +285,8 @@ class RTService:
                 self.metrics.clock() - pipe_t0
             )
         except ReproError as exc:
-            self._fail(path, str(exc), True)  # geometry mismatch is permanent
+            # Geometry mismatch is permanent.
+            self._fail(path, str(exc), True, error=exc)
             return False
 
         if not self._record:

@@ -31,6 +31,7 @@ from repro.storage.chunks import (
     open_stream,
 )
 from repro.storage.dasfile import DASFile, read_das_file, write_das_file
+from repro.storage.gaps import GapMap, GapSpan
 from repro.storage.lav import LAV, open_lav
 from repro.storage.metadata import (
     DASMetadata,
@@ -61,6 +62,8 @@ __all__ = [
     "create_vca",
     "open_vca",
     "create_rca",
+    "GapMap",
+    "GapSpan",
     "LAV",
     "open_lav",
     "read_vca_collective_per_file",

@@ -17,7 +17,7 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.errors import ConfigError, StorageError
+from repro.errors import ConfigError, ReproError, StorageError
 from repro.utils.iostats import IOStats
 
 
@@ -143,6 +143,10 @@ class VCASource(DatasetSource):
     and its per-minute sources stay open across chunks, and with a cache
     the overlap (halo) samples that adjacent chunks both need are served
     from memory the second time.
+
+    ``on_error`` / ``fill_value`` are the degraded-read knobs forwarded to
+    :func:`~repro.storage.vca.open_vca`; when masking, the handle's
+    :class:`~repro.storage.gaps.GapMap` is exposed as :attr:`gaps`.
     """
 
     def __init__(
@@ -151,19 +155,33 @@ class VCASource(DatasetSource):
         iostats: IOStats | None = None,
         pool: object = None,
         cache: object = None,
+        on_error: str = "raise",
+        fill_value: float = float("nan"),
     ):
         from repro.storage.vca import open_vca
 
-        self._handle = open_vca(path, iostats=iostats, pool=pool, cache=cache)
+        self._handle = open_vca(
+            path,
+            iostats=iostats,
+            pool=pool,
+            cache=cache,
+            on_error=on_error,
+            fill_value=fill_value,
+        )
         try:
             super().__init__(
                 self._handle.dataset, fs=self._handle.metadata.sampling_frequency
             )
-        except Exception:
+        except (ReproError, OSError):
             self._handle.close()
             raise
         self.path = os.fspath(path)
         self.metadata = self._handle.metadata
+
+    @property
+    def gaps(self):
+        """Masked spans accumulated by the degraded-read handle."""
+        return self._handle.gaps
 
     def close(self) -> None:
         self._handle.close()
@@ -174,9 +192,18 @@ def open_stream(
     iostats: IOStats | None = None,
     pool: object = None,
     cache: object = None,
+    on_error: str = "raise",
+    fill_value: float = float("nan"),
 ) -> VCASource:
     """Open a VCA file as a streaming chunk source (context manager)."""
-    return VCASource(path, iostats=iostats, pool=pool, cache=cache)
+    return VCASource(
+        path,
+        iostats=iostats,
+        pool=pool,
+        cache=cache,
+        on_error=on_error,
+        fill_value=fill_value,
+    )
 
 
 def as_source(source: object, fs: float | None = None) -> ChunkSource:

@@ -33,12 +33,15 @@ def write_das_file(
     channel_groups: bool = True,
     dtype: object = np.float32,
     iostats: IOStats | None = None,
+    checksum: bool = False,
 ) -> str:
     """Write one DAS file; returns the path.
 
     ``data`` is ``(channels, samples)``.  With ``channel_groups`` the
     per-channel ``Measurement/<i>`` metadata groups of Fig. 4 are
-    written (1-based indices, as in the paper).
+    written (1-based indices, as in the paper).  ``checksum=True`` stores
+    a per-block CRC32 sidecar on ``DataCT`` so readers detect silent
+    corruption (see :mod:`repro.hdf5lite.checksum`).
     """
     data = np.asarray(data)
     if data.ndim != 2:
@@ -58,7 +61,9 @@ def write_das_file(
     path = os.fspath(path)
     with File(path, "w", iostats=iostats) as f:
         f.attrs.update_many(meta.to_attrs())
-        f.create_dataset(DATASET_NAME, data=data.astype(dtype, copy=False))
+        f.create_dataset(
+            DATASET_NAME, data=data.astype(dtype, copy=False), checksum=checksum
+        )
         if channel_groups:
             measurement = f.create_group(CHANNEL_GROUP)
             for ch in range(1, n_channels + 1):

@@ -17,6 +17,7 @@ import numpy as np
 from repro.errors import StorageError
 from repro.hdf5lite import File, FilePool, VirtualSource
 from repro.storage.dasfile import DATASET_NAME, read_das_metadata
+from repro.storage.gaps import GapMap, GapSpan
 from repro.storage.metadata import DASMetadata
 from repro.storage.search import DASFileInfo
 from repro.utils.iostats import IOStats
@@ -144,6 +145,20 @@ class VCAHandle:
     repeated reads across handles stop re-opening files.  ``cache`` — an
     optional block cache (or config) for the non-pooled path; the pool
     carries its own shared cache.
+
+    ``on_error`` selects degraded-read behaviour when a source file is
+    unreadable (vanished, truncated, corrupt):
+
+    * ``"raise"`` (default) — the typed error propagates (fail-fast).
+    * ``"mask"`` — the failed source's span is filled with ``fill_value``
+      and recorded in :attr:`gaps`; the source is retried on later reads
+      (transient faults may clear).
+    * ``"skip"`` — like ``"mask"``, but the source is additionally
+      blacklisted: later reads fill its span without touching the file.
+
+    :attr:`gaps` is a :class:`repro.storage.gaps.GapMap` of masked spans
+    in absolute VCA sample coordinates — callers that accept a degraded
+    result must consult it.
     """
 
     def __init__(
@@ -152,8 +167,19 @@ class VCAHandle:
         iostats: IOStats | None = None,
         pool: "FilePool | None" = None,
         cache: object = None,
+        on_error: str = "raise",
+        fill_value: float = float("nan"),
     ):
+        if on_error not in ("raise", "mask", "skip"):
+            raise StorageError(
+                f"on_error must be 'raise', 'mask' or 'skip', got {on_error!r}"
+            )
         self.path = os.fspath(path)
+        self.on_error = on_error
+        self.fill_value = fill_value
+        self.gaps = GapMap()
+        self._skipped: set[str] = set()
+        self._installed = False
         if pool is not None:
             self._file = pool.acquire(self.path, iostats=iostats)
             self._owns_file = False
@@ -172,6 +198,26 @@ class VCAHandle:
         except (StorageError, KeyError):
             self.close()
             raise StorageError(f"{self.path!r} is not a VCA file") from None
+        if on_error != "raise":
+            self._file.on_source_error = self._handle_source_error
+            self._file.source_fill = fill_value
+            self._installed = True
+
+    def _handle_source_error(self, source, overlap, exc) -> float:
+        """Degraded-read hook: record the loss, optionally blacklist the
+        source, and return the fill value that masks its span."""
+        self.gaps.add(
+            GapSpan(
+                source=source.file,
+                t0=int(overlap.start[1]),
+                t1=int(overlap.start[1] + overlap.count[1]),
+                reason=f"{type(exc).__name__}: {exc}",
+            )
+        )
+        if self.on_error == "skip":
+            self._file.skip_sources.add(source.file)
+            self._skipped.add(source.file)
+        return self.fill_value
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -201,7 +247,19 @@ class VCAHandle:
         return out
 
     def close(self) -> None:
-        """Close the handle (a pooled file stays open, owned by the pool)."""
+        """Close the handle (a pooled file stays open, owned by the pool).
+
+        Degraded-read state installed on the underlying file (the error
+        handler and any blacklisted sources) is removed so a pooled handle
+        returns to fail-fast for its next user.
+        """
+        if self._installed:
+            self._file.on_source_error = None
+            self._file.source_fill = None
+            for src in self._skipped:
+                self._file.skip_sources.discard(src)
+            self._skipped.clear()
+            self._installed = False
         if self._owns_file:
             self._file.close()
 
@@ -217,6 +275,20 @@ def open_vca(
     iostats: IOStats | None = None,
     pool: "FilePool | None" = None,
     cache: object = None,
+    on_error: str = "raise",
+    fill_value: float = float("nan"),
 ) -> VCAHandle:
-    """Open a VCA file."""
-    return VCAHandle(path, iostats=iostats, pool=pool, cache=cache)
+    """Open a VCA file.
+
+    ``on_error="mask"``/``"skip"`` turn unreadable sources into
+    fill-valued spans recorded on the handle's :attr:`~VCAHandle.gaps`
+    instead of raising (see :class:`VCAHandle`).
+    """
+    return VCAHandle(
+        path,
+        iostats=iostats,
+        pool=pool,
+        cache=cache,
+        on_error=on_error,
+        fill_value=fill_value,
+    )

@@ -1,0 +1,302 @@
+"""Fault matrix: every injected fault kind crossed with every batch read
+path.
+
+For each fault in {bit-flip, truncate, vanish, slow-read} injected into
+one VCA source file, every read path (collective-per-file, the
+communication-avoiding reader, an LAV view, and the streamed DASSA
+facade) must either
+
+* **mask**: complete with the victim's span fill-valued, reported in a
+  :class:`~repro.storage.gaps.GapMap`, and be bit-identical to the clean
+  data outside the masked (halo-widened, for streamed operators) spans;
+* **fail fast** (the default): propagate a *typed* error —
+  ``CorruptDataError`` for a checksum mismatch, ``FileNotFoundError``
+  for a vanished file, a storage/OS error for truncation.
+
+``slow-read`` is the benign row of the matrix: it must not fail, not
+mask, and not report gaps on any path.
+
+Also covers the degraded checkpoint-tail reader (`read_sample_range`)
+and bounded-retry absorption of transient read faults.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.framework import DASSA
+from repro.errors import (
+    CorruptDataError,
+    MPIError,
+    ReproError,
+    StorageError,
+)
+from repro.faults.inject import FaultInjector, clear_read_faults, install_read_fault
+from repro.rt.checkpoint import read_sample_range
+from repro.simmpi import run_spmd
+from repro.storage.dasfile import das_filename, write_das_file
+from repro.storage.gaps import GapMap
+from repro.storage.lav import LAV
+from repro.storage.metadata import DASMetadata, timestamp_add_seconds
+from repro.storage.parallel_read import (
+    read_vca_collective_per_file,
+    read_vca_communication_avoiding,
+)
+from repro.storage.vca import create_vca, open_vca
+
+MATRIX_KINDS = ("bit-flip", "truncate", "vanish", "slow-read")
+
+# Which typed error each permanent fault must raise in fail-fast mode.
+EXPECT = {
+    "bit-flip": CorruptDataError,
+    "truncate": (ReproError, OSError),
+    "vanish": FileNotFoundError,
+    "slow-read": None,
+}
+
+VICTIM = 2  # source file index; covers VCA samples [240, 360)
+V0, V1 = 240, 360
+
+
+@pytest.fixture(autouse=True)
+def _clean_hooks():
+    yield
+    clear_read_faults()
+
+
+@pytest.fixture
+def faulted(tmp_path):
+    """Six checksummed per-minute files merged into one VCA."""
+    directory = tmp_path / "das"
+    directory.mkdir()
+    rng = np.random.default_rng(7)
+    stamp = "170620100545"
+    paths, blocks = [], []
+    for _ in range(6):
+        data = rng.normal(size=(16, 120)).astype(np.float32)
+        metadata = DASMetadata(
+            sampling_frequency=2.0,
+            spatial_resolution=2.0,
+            timestamp=stamp,
+            n_channels=16,
+        )
+        path = str(directory / das_filename(stamp))
+        write_das_file(path, data, metadata, channel_groups=False, checksum=True)
+        paths.append(path)
+        blocks.append(data)
+        stamp = timestamp_add_seconds(stamp, 60)
+    vca = create_vca(str(tmp_path / "v.h5"), paths)
+    return {
+        "vca": vca,
+        "paths": paths,
+        "full": np.concatenate(blocks, axis=1),
+    }
+
+
+def _inject(kind, path):
+    inj = FaultInjector(seed=13)
+    if kind == "slow-read":
+        inj.inject(kind, path, delay=0.005)
+    else:
+        inj.inject(kind, path)
+
+
+def _check_masked(out, full, kind):
+    """Masked-mode output: clean outside the victim span, NaN inside."""
+    if kind == "slow-read":
+        np.testing.assert_array_equal(out, full)
+        return
+    mask = np.zeros(full.shape[1], dtype=bool)
+    mask[V0:V1] = True
+    np.testing.assert_array_equal(out[:, ~mask], full[:, ~mask])
+    assert np.isnan(out[:, mask]).all()
+
+
+@pytest.mark.parametrize("kind", MATRIX_KINDS)
+class TestFaultMatrix:
+    def _check_spmd_fail_fast(self, fn, kind, size=2):
+        with pytest.raises(MPIError) as err:
+            run_spmd(fn, size)
+        assert isinstance(err.value.__cause__, EXPECT[kind])
+
+    def test_collective_per_file(self, faulted, kind):
+        _inject(kind, faulted["paths"][VICTIM])
+
+        def masked(comm):
+            gm = GapMap()
+            block = read_vca_collective_per_file(
+                comm, faulted["vca"], on_error="mask", gaps=gm
+            )
+            return block, sorted((s.t0, s.t1) for s in gm)
+
+        result = run_spmd(masked, 3)
+        out = np.concatenate([b for b, _ in result.results], axis=0)
+        _check_masked(out, faulted["full"], kind)
+        # Every rank agrees on the gap report (the aggregator broadcasts
+        # the failure along with the fill block).
+        expected = [] if kind == "slow-read" else [(V0, V1)]
+        assert all(spans == expected for _, spans in result.results)
+
+        def failfast(comm):
+            return read_vca_collective_per_file(comm, faulted["vca"])
+
+        if kind == "slow-read":
+            ok = run_spmd(failfast, 2)
+            np.testing.assert_array_equal(
+                np.concatenate(ok.results, axis=0), faulted["full"]
+            )
+        else:
+            self._check_spmd_fail_fast(failfast, kind)
+
+    def test_communication_avoiding(self, faulted, kind):
+        _inject(kind, faulted["paths"][VICTIM])
+
+        def masked(comm):
+            gm = GapMap()
+            block = read_vca_communication_avoiding(
+                comm, faulted["vca"], on_error="mask", gaps=gm
+            )
+            return block, sorted((s.t0, s.t1) for s in gm)
+
+        result = run_spmd(masked, 4)
+        out = np.concatenate([b for b, _ in result.results], axis=0)
+        _check_masked(out, faulted["full"], kind)
+        # Owning ranks allgather failures: the report is global.
+        expected = [] if kind == "slow-read" else [(V0, V1)]
+        assert all(spans == expected for _, spans in result.results)
+
+        def failfast(comm):
+            return read_vca_communication_avoiding(comm, faulted["vca"])
+
+        if kind == "slow-read":
+            ok = run_spmd(failfast, 2)
+            np.testing.assert_array_equal(
+                np.concatenate(ok.results, axis=0), faulted["full"]
+            )
+        else:
+            self._check_spmd_fail_fast(failfast, kind)
+
+    def test_lav_view(self, faulted, kind):
+        _inject(kind, faulted["paths"][VICTIM])
+        with open_vca(faulted["vca"], on_error="mask") as handle:
+            out = LAV(handle.dataset, channels=slice(2, 10)).read()
+            spans = sorted((s.t0, s.t1) for s in handle.gaps)
+        _check_masked(out, faulted["full"][2:10], kind)
+        assert spans == ([] if kind == "slow-read" else [(V0, V1)])
+
+        if kind == "slow-read":
+            with open_vca(faulted["vca"]) as handle:
+                np.testing.assert_array_equal(
+                    LAV(handle.dataset).read(), faulted["full"]
+                )
+        else:
+            with open_vca(faulted["vca"]) as handle:
+                with pytest.raises(EXPECT[kind]):
+                    LAV(handle.dataset).read()
+
+    def test_streamed_dassa(self, faulted, kind):
+        nsta, nlta = 4, 16
+        ref = DASSA(threads=1).sta_lta(
+            faulted["vca"], nsta, nlta, chunk_samples=200
+        )
+        _inject(kind, faulted["paths"][VICTIM])
+
+        d = DASSA(threads=1, on_error="mask")
+        out = d.sta_lta(faulted["vca"], nsta, nlta, chunk_samples=200)
+        if kind == "slow-read":
+            np.testing.assert_array_equal(out, ref)
+            assert d.last_gaps is None
+            return
+        gaps = d.last_gaps
+        assert gaps is not None and gaps
+        assert all(V0 <= s.t0 and s.t1 <= V1 for s in gaps)
+        # Equal to the clean run outside the affected cone (the masked
+        # input spans widened by the STA/LTA lookback halo).  Tolerance,
+        # not bit-identity: the kernel's running sums cancel the masked
+        # prefix to ~1e-14, unlike the pure read paths above.
+        cone = gaps.widened(nlta - 1).time_mask(out.shape[1])
+        assert cone.any() and not cone.all()
+        np.testing.assert_allclose(
+            out[:, ~cone], ref[:, ~cone], rtol=1e-9, atol=1e-12
+        )
+
+        with pytest.raises(EXPECT[kind]):
+            DASSA(threads=1).sta_lta(
+                faulted["vca"], nsta, nlta, chunk_samples=200
+            )
+
+
+class TestTransientFaultsRetried:
+    """One failed read then success: bounded retry absorbs it silently."""
+
+    def test_collective_reader_retries(self, faulted):
+        install_read_fault(faulted["paths"][VICTIM], "raise-on-nth-read", fail_reads=1)
+
+        def fn(comm):
+            gm = GapMap()
+            block = read_vca_collective_per_file(
+                comm, faulted["vca"], on_error="mask", retries=2, gaps=gm
+            )
+            return block, len(gm)
+
+        result = run_spmd(fn, 2)
+        out = np.concatenate([b for b, _ in result.results], axis=0)
+        np.testing.assert_array_equal(out, faulted["full"])
+        assert all(n == 0 for _, n in result.results)
+
+    def test_exhausted_retries_then_mask(self, faulted):
+        install_read_fault(
+            faulted["paths"][VICTIM], "raise-on-nth-read", fail_reads=99
+        )
+
+        def fn(comm):
+            gm = GapMap()
+            read_vca_collective_per_file(
+                comm, faulted["vca"], on_error="mask", retries=1, gaps=gm
+            )
+            return [(s.t0, s.t1, s.attempts) for s in gm]
+
+        result = run_spmd(fn, 1)
+        (spans,) = result.results
+        assert [(t0, t1) for t0, t1, _ in spans] == [(V0, V1)]
+        assert all(attempts >= 2 for _, _, attempts in spans)
+
+
+class TestReadSampleRangeDegraded:
+    """The checkpoint-tail reader survives a corrupted/lost tail file."""
+
+    def _files(self, das_dir):
+        return [(p, 120) for p in das_dir["paths"]]
+
+    def test_mask_fills_lost_file(self, das_dir):
+        files = self._files(das_dir)
+        os.remove(das_dir["paths"][3])  # samples [360, 480)
+        gm = GapMap()
+        out = read_sample_range(files, 300, 500, on_error="mask", gaps=gm)
+        full = das_dir["full"]
+        assert out.shape == (16, 200)
+        np.testing.assert_array_equal(out[:, :60], full[:, 300:360])
+        assert np.isnan(out[:, 60:180]).all()
+        np.testing.assert_array_equal(out[:, 180:], full[:, 480:500])
+        assert [(s.t0, s.t1) for s in gm] == [(360, 480)]
+
+    def test_raise_mode_propagates(self, das_dir):
+        files = self._files(das_dir)
+        os.remove(das_dir["paths"][3])
+        with pytest.raises(FileNotFoundError):
+            read_sample_range(files, 300, 500)
+
+    def test_all_files_lost_is_an_error(self, das_dir):
+        files = self._files(das_dir)
+        os.remove(das_dir["paths"][3])
+        with pytest.raises(StorageError, match="unreadable"):
+            read_sample_range(files, 400, 450, on_error="mask")
+
+    def test_transient_fault_retried(self, das_dir):
+        files = self._files(das_dir)
+        install_read_fault(das_dir["paths"][2], "raise-on-nth-read", fail_reads=1)
+        gm = GapMap()
+        out = read_sample_range(files, 250, 350, on_error="mask", gaps=gm, retries=2)
+        np.testing.assert_array_equal(out, das_dir["full"][:, 250:350])
+        assert len(gm) == 0

@@ -263,6 +263,49 @@ class TestQuarantine:
         assert len(reloaded) == 1
 
 
+class TestQuarantineTaxonomy:
+    def test_pre_taxonomy_entries_still_load(self, tmp_path):
+        # Regression: quarantine files written before the structured
+        # ``error`` field existed must load unchanged.
+        from repro.rt.ingest import QUARANTINE_NAME
+
+        legacy = os.path.join(tmp_path, QUARANTINE_NAME)
+        with open(legacy, "w", encoding="utf-8") as handle:
+            handle.write(
+                '{"name": "westSac_170620100545.h5", '
+                '"reason": "short read", "attempts": 3}\n'
+            )
+        quarantine = Quarantine(tmp_path)
+        assert len(quarantine) == 1
+        assert quarantine.reasons["westSac_170620100545.h5"] == "short read"
+        assert quarantine.errors["westSac_170620100545.h5"] is None
+
+    def test_error_taxonomy_roundtrip(self, tmp_path):
+        from repro.errors import CorruptDataError
+
+        quarantine = Quarantine(tmp_path)
+        quarantine.add(
+            "westSac_170620100645.h5",
+            "checksum mismatch",
+            attempts=2,
+            error=CorruptDataError("crc32 mismatch at offset 128"),
+        )
+        reloaded = Quarantine(tmp_path)
+        entry = reloaded.errors["westSac_170620100645.h5"]
+        assert entry["type"] == "CorruptDataError"
+        assert entry["taxonomy"][0] == "CorruptDataError"
+        assert "StorageError" in entry["taxonomy"]
+        assert "ReproError" in entry["taxonomy"]
+        assert "crc32" in entry["message"]
+
+    def test_non_repro_error_has_empty_taxonomy(self, tmp_path):
+        quarantine = Quarantine(tmp_path)
+        quarantine.add("x.h5", "io", attempts=1, error=OSError("disk"))
+        entry = Quarantine(tmp_path).errors["x.h5"]
+        assert entry["type"] == "OSError"
+        assert entry["taxonomy"] == []
+
+
 # ---------------------------------------------------------------------------
 # Events: streamed assembly == batch assembly, sink dedup
 # ---------------------------------------------------------------------------

@@ -219,6 +219,40 @@ class TestKillAndResume:
         with pytest.raises(ReproError, match="digest"):
             RTService(tmp_path, detector=DETECTOR, policy=POLICY, config=FAST)
 
+    @pytest.mark.parametrize("kind", ["vanish", "truncate"])
+    def test_resume_survives_unreadable_tail_file(self, tmp_path, scene, kind):
+        # A tail file lost or truncated between checkpoint and resume
+        # degrades the resume (carried state dropped, reason recorded)
+        # instead of killing the service.
+        from repro.faults.inject import FaultInjector
+
+        service = RTService(
+            tmp_path, detector=DETECTOR, policy=POLICY, config=FAST
+        )
+        drip = drip_feed_dataset(
+            tmp_path, MINUTES, scene=scene, samples_per_minute=SPM
+        )
+        paths = []
+        for path in drip:
+            paths.append(path)
+            service.drain()
+            if len(paths) == 2:
+                break
+        del service
+        FaultInjector(seed=0).inject(kind, paths[-1])
+
+        resumed = RTService(
+            tmp_path, detector=DETECTOR, policy=POLICY, config=FAST
+        )
+        assert resumed.resume_error is not None
+        assert resumed.files_done == []
+        # The service still ingests and detects: feed the remaining files.
+        for _ in drip:
+            resumed.drain()
+        resumed.drain()
+        assert resumed.metrics.files_ingested == MINUTES - len(paths)
+        resumed.flush()
+
 
 class TestFaultInjection:
     def _good_file(self, spool, stamp, data=None):
