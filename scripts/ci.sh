@@ -12,14 +12,15 @@
 # concatenated record (BENCH_rt.json).  The faults smoke run asserts
 # checksum verification costs < 10% on the cached VCA read path and that
 # masked degraded reads are equivalent to clean runs outside the masked
-# spans (BENCH_faults.json); faultcheck.sh rejects new untyped
-# catch-alls under src/repro/.
+# spans (BENCH_faults.json); repro.checks rejects new lock-discipline,
+# exception-taxonomy, operator-contract, and public-API findings not in
+# scripts/checks_baseline.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-scripts/faultcheck.sh
+python -m repro.checks --baseline scripts/checks_baseline.json
 python -m pytest -x -q
 python benchmarks/bench_cache.py --smoke
 python benchmarks/bench_pipeline.py --smoke

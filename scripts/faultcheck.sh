@@ -1,33 +1,4 @@
 #!/usr/bin/env bash
-# Lint: no new bare `except Exception:` / `except BaseException:` under
-# src/repro/.  Untyped catch-alls swallow the typed error taxonomy
-# (repro.errors) that the degraded-read, retry, and quarantine paths
-# depend on to tell transient faults from logic bugs.
-#
-# An intentional catch-all boundary carries an inline `noqa` marker with
-# a reason (e.g. `# noqa: BLE001 - must not lose rank errors`); files
-# grandfathered in before this check live in
-# scripts/faultcheck_allowlist.txt (one path per line, relative to
-# src/repro/).
-set -euo pipefail
-cd "$(dirname "$0")/.."
-
-allowlist="scripts/faultcheck_allowlist.txt"
-fail=0
-while IFS=: read -r file line text; do
-    [ -z "$file" ] && continue
-    case "$text" in *noqa*) continue ;; esac
-    rel="${file#src/repro/}"
-    if grep -qxF "$rel" "$allowlist" 2>/dev/null; then
-        continue
-    fi
-    echo "faultcheck: $file:$line: untyped catch-all without noqa:$text" >&2
-    fail=1
-done < <(grep -rn --include='*.py' -E 'except +(Exception|BaseException)\b' src/repro/ || true)
-
-if [ "$fail" -ne 0 ]; then
-    echo "faultcheck: catch a typed exception from repro.errors instead," >&2
-    echo "faultcheck: or annotate the boundary: '# noqa: BLE001 - reason'." >&2
-    exit 1
-fi
-echo "faultcheck: OK"
+# Retired into the repro.checks exception-taxonomy analyzer (TAX001-003);
+# the old allowlist lives on as a waiver in scripts/checks_baseline.json.
+cd "$(dirname "$0")/.." && PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m repro.checks --only exception-taxonomy

@@ -137,6 +137,90 @@ def apply_mt(
     return result.reshape(n_rows, n_cols)
 
 
+class _TaskBoard:
+    """Shared scheduler state for the fault-tolerant path.
+
+    One lock covers the whole board: task statuses, straggler bookkeeping,
+    and the error list move together (a speculative copy decision reads
+    status + started + speculated in one breath), so finer locks would buy
+    nothing and invite inversions.  Result writes happen under the same
+    lock so "never demote a finished copy" and the published cells can
+    never disagree.
+    """
+
+    def __init__(self, n_tasks: int):
+        self._lock = threading.Lock()
+        self.status = ["pending"] * n_tasks  # guarded-by: _lock
+        self.started = [0.0] * n_tasks  # guarded-by: _lock
+        self.speculated = [False] * n_tasks  # guarded-by: _lock
+        self.errors: list[tuple] = []  # guarded-by: _lock
+        self.stop = threading.Event()
+
+    def claim(self, timeout: float | None) -> tuple[int | None, bool]:
+        """Claim a pending task, or a straggler eligible for a speculative
+        copy; ``(None, False)`` when neither exists right now."""
+        now = time.monotonic()
+        with self._lock:
+            for tid, st in enumerate(self.status):
+                if st == "pending":
+                    self.status[tid] = "running"
+                    self.started[tid] = now
+                    return tid, False
+            if timeout is not None:
+                for tid, st in enumerate(self.status):
+                    if (
+                        st == "running"
+                        and not self.speculated[tid]
+                        and now - self.started[tid] > timeout
+                    ):
+                        self.speculated[tid] = True
+                        return tid, True
+        return None, False
+
+    def any_running(self) -> bool:
+        with self._lock:
+            return any(st == "running" for st in self.status)
+
+    def finish(self, tid: int, result: np.ndarray, lo: int, hi: int, out: np.ndarray) -> None:
+        """A successful copy: publish the output and mark the task done."""
+        with self._lock:
+            result[lo:hi] = out
+            self.status[tid] = "done"
+
+    def fail(
+        self,
+        tid: int,
+        attempts: int,
+        exc: BaseException,
+        fail_fast: bool,
+        result: np.ndarray,
+        lo: int,
+        hi: int,
+        salvaged: np.ndarray | None,
+        bad: list[int] | None,
+    ) -> None:
+        """A failed copy: record the error, or the salvage outcome."""
+        with self._lock:
+            if self.status[tid] == "done":  # never demote a finished copy
+                return
+            if fail_fast:
+                self.status[tid] = "failed"
+                self.errors.append((tid, attempts, exc, []))
+                self.stop.set()
+            else:
+                result[lo:hi] = salvaged
+                if bad:
+                    self.status[tid] = "failed"
+                    self.errors.append((tid, attempts, exc, bad))
+                else:  # every cell recovered on the isolation pass
+                    self.status[tid] = "done"
+
+    def final_failures(self) -> list[tuple]:
+        """Failures not rescued by a later successful copy."""
+        with self._lock:
+            return [e for e in self.errors if self.status[e[0]] != "done"]
+
+
 def _apply_mt_ft(
     block: np.ndarray,
     udf: Callable[[Stencil], float],
@@ -160,13 +244,7 @@ def _apply_mt_ft(
     result = np.empty(n_cells, dtype=dtype)
     n_tasks = min(max(1, n_cells), threads * 4)
     bounds = [static_schedule(n_cells, n_tasks, t) for t in range(n_tasks)]
-    state = [
-        {"status": "pending", "started": 0.0, "speculated": False}
-        for _ in range(n_tasks)
-    ]
-    lock = threading.Lock()
-    errors: list[tuple[int, int, BaseException]] = []
-    stop = threading.Event()
+    board = _TaskBoard(n_tasks)
 
     def run_task(tid: int) -> np.ndarray:
         lo, hi = bounds[tid]
@@ -211,34 +289,11 @@ def _apply_mt_ft(
                 bad.append(flat)
         return out, bad
 
-    def next_task() -> tuple[int | None, bool]:
-        """Claim a pending task, or a straggler eligible for a speculative
-        copy; ``(None, False)`` when neither exists right now."""
-        now = time.monotonic()
-        with lock:
-            for tid, st in enumerate(state):
-                if st["status"] == "pending":
-                    st["status"] = "running"
-                    st["started"] = now
-                    return tid, False
-            if policy.timeout is not None:
-                for tid, st in enumerate(state):
-                    if (
-                        st["status"] == "running"
-                        and not st["speculated"]
-                        and now - st["started"] > policy.timeout
-                    ):
-                        st["speculated"] = True
-                        return tid, True
-        return None, False
-
     def worker() -> None:
-        while not stop.is_set():
-            tid, _speculative = next_task()
+        while not board.stop.is_set():
+            tid, _speculative = board.claim(policy.timeout)
             if tid is None:
-                with lock:
-                    active = any(st["status"] == "running" for st in state)
-                if not active:
+                if not board.any_running():
                     return
                 # Wait for in-flight tasks: either they finish, or (with a
                 # timeout) they become eligible for a speculative copy.
@@ -248,26 +303,15 @@ def _apply_mt_ft(
                 continue
             out, attempts, exc = attempt(tid)
             lo, hi = bounds[tid]
+            if out is not None:
+                board.finish(tid, result, lo, hi, out)
+                continue
             salvaged, bad = None, None
-            if out is None and not policy.fail_fast:
+            if not policy.fail_fast:
                 salvaged, bad = salvage(tid)
-            with lock:
-                st = state[tid]
-                if out is not None:
-                    result[lo:hi] = out
-                    st["status"] = "done"
-                elif st["status"] != "done":  # never demote a finished copy
-                    if policy.fail_fast:
-                        st["status"] = "failed"
-                        errors.append((tid, attempts, exc, []))
-                        stop.set()
-                    else:
-                        result[lo:hi] = salvaged
-                        if bad:
-                            st["status"] = "failed"
-                            errors.append((tid, attempts, exc, bad))
-                        else:  # every cell recovered on the isolation pass
-                            st["status"] = "done"
+            board.fail(
+                tid, attempts, exc, policy.fail_fast, result, lo, hi, salvaged, bad
+            )
 
     n_workers = min(threads, n_tasks)
     if n_workers == 1:
@@ -282,11 +326,7 @@ def _apply_mt_ft(
         for t in pool:
             t.join()
 
-    with lock:
-        # Keep only failures not rescued by a later successful copy.
-        final = [
-            entry for entry in errors if state[entry[0]]["status"] != "done"
-        ]
+    final = board.final_failures()
     if final and policy.fail_fast:
         tid, attempts, exc, _bad = final[0]
         lo, hi = bounds[tid]

@@ -1,0 +1,53 @@
+"""repro.checks — static analysis and runtime sanitizers for the repro tree.
+
+Four PRs in, the codebase is a genuinely concurrent system: ``apply_mt``
+runs a retrying task-queue scheduler over threads, ``hdf5lite.cache``
+shares a ``BlockCache``/``FilePool`` across readers, ``rt.ingest`` feeds
+a bounded ``WorkQueue``, and ``simmpi`` ranks are threads.  The paper's
+scaling claim (§IV-B) rests on that machinery staying thread-safe, so
+this package is the correctness tooling that guards it:
+
+* :mod:`repro.checks.locks` — lock discipline: attributes annotated
+  ``# guarded-by: <lock-attr>`` may only be mutated inside a
+  ``with self.<lock-attr>:`` block (or a method marked ``# holds-lock``);
+* :mod:`repro.checks.taxonomy` — exception taxonomy: broad/bare
+  excepts, ``raise`` of builtins where a :mod:`repro.errors` type
+  exists, silently-swallowed handlers (supersedes ``faultcheck.sh``);
+* :mod:`repro.checks.contracts` — operator contracts:
+  :class:`~repro.core.pipeline.Operator` subclasses must declare
+  consistent ``halo``/``decimate``/``channel_halo``/``stream_safe`` and
+  override the right hooks;
+* :mod:`repro.checks.api` — public API: ``__all__`` completeness and
+  cross-layer import direction (``hdf5lite`` must never import ``rt``);
+* :mod:`repro.checks.runtime` — an instrumented ``Lock``/``RLock``
+  sanitizer for tests: lock-order-inversion detection and guarded
+  attribute access without the lock held (zero overhead when not
+  installed — production code uses plain ``threading`` locks).
+
+Run ``python -m repro.checks`` from the repository root; see
+``--help`` for ``--json`` / ``--baseline`` / ``--update-baseline`` /
+``--only``.  The committed baseline lives in
+``scripts/checks_baseline.json``.
+"""
+
+from repro.checks.baseline import Baseline, Waiver
+from repro.checks.findings import Finding
+from repro.checks.registry import Analyzer, all_analyzers, register
+from repro.checks.runner import load_project, run_analyzers
+from repro.checks.runtime import LockSanitizer, SanitizerViolation
+from repro.checks.source import Project, SourceModule
+
+__all__ = [
+    "Analyzer",
+    "Baseline",
+    "Finding",
+    "LockSanitizer",
+    "Project",
+    "SanitizerViolation",
+    "SourceModule",
+    "Waiver",
+    "all_analyzers",
+    "load_project",
+    "register",
+    "run_analyzers",
+]

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.checks``."""
+
+import sys
+
+from repro.checks.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

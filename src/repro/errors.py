@@ -6,6 +6,19 @@ catch framework-level failures without masking programming errors.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "FormatError",
+    "SelectionError",
+    "StorageError",
+    "CorruptDataError",
+    "DegradedReadError",
+    "MPIError",
+    "OutOfMemoryError",
+    "UDFError",
+    "ConfigError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
@@ -85,5 +98,12 @@ class UDFError(ReproError):
     """Raised when a user-defined function fails inside the ArrayUDF engine."""
 
 
-class ConfigError(ReproError):
-    """Raised for invalid framework / machine-model configuration."""
+class ConfigError(ReproError, ValueError):
+    """Raised for invalid framework / machine-model configuration or
+    arguments.
+
+    Subclasses :class:`ValueError` so call sites converted from
+    ``raise ValueError`` keep their contract: callers (and tests)
+    catching ``ValueError`` continue to work, while new code can catch
+    the taxonomy root instead.
+    """

@@ -21,7 +21,7 @@ import struct
 import threading
 from dataclasses import dataclass
 
-from repro.errors import FormatError
+from repro.errors import ConfigError, FormatError
 from repro.utils.iostats import IOStats
 
 MAGIC = b"DASH5LT\x00"
@@ -62,7 +62,7 @@ class FileBackend:
 
     def __init__(self, path: str | os.PathLike, mode: str, iostats: IOStats | None = None):
         if mode not in ("rb", "r+b", "w+b"):
-            raise ValueError(f"unsupported backend mode {mode!r}")
+            raise ConfigError(f"unsupported backend mode {mode!r}")
         self.path = os.fspath(path)
         self.mode = mode
         self.iostats = iostats if iostats is not None else IOStats()

@@ -90,11 +90,11 @@ class BlockCache:
         self.config = config if config is not None else CacheConfig()
         self.iostats = iostats
         self._lock = threading.RLock()
-        self._blocks: OrderedDict[Hashable, bytes] = OrderedDict()
-        self._current_bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._blocks: OrderedDict[Hashable, bytes] = OrderedDict()  # guarded-by: _lock
+        self._current_bytes = 0  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
 
     @property
     def enabled(self) -> bool:
@@ -214,10 +214,10 @@ class FilePool:
         self.cache = cache
         self.verify_checksums = bool(verify_checksums)
         self._lock = threading.RLock()
-        self._handles: OrderedDict[str, "File"] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._handles: OrderedDict[str, "File"] = OrderedDict()  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
 
     def acquire(self, path: str | os.PathLike, iostats: IOStats | None = None) -> "File":
         """An open read-only handle for ``path`` (opened at most once)."""

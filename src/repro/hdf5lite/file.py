@@ -21,7 +21,7 @@ from typing import Any, Iterator, Sequence
 
 import numpy as np
 
-from repro.errors import FormatError
+from repro.errors import ConfigError, FormatError
 from repro.hdf5lite import dtype as _dtype
 from repro.hdf5lite.attributes import Attributes
 from repro.hdf5lite.binary import FORMAT_VERSION, HEADER_SIZE, FileBackend, Header
@@ -320,7 +320,7 @@ class File(Group):
         if mode == "a":
             mode = "r+" if os.path.exists(path) else "w"
         if mode not in ("r", "r+", "w"):
-            raise ValueError(f"unsupported file mode {mode!r}")
+            raise ConfigError(f"unsupported file mode {mode!r}")
         self.filename = path
         self.mode = mode
         self.writable = mode != "r"

@@ -147,7 +147,10 @@ def cmd_watch(args: argparse.Namespace) -> int:
         try:
             previous[sig] = signal.signal(sig, request_stop)
         except (ValueError, OSError):
-            pass  # not the main thread / unsupported platform
+            # Signal handlers are a best-effort nicety: off the main
+            # thread (tests) or on unsupported platforms the service
+            # simply runs without graceful-stop support.
+            pass  # noqa: TAX003 - graceful stop is optional; watch loop still honours stop_check/max_ticks
     try:
         if args.drain:
             service.drain()

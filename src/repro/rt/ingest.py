@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -120,35 +121,43 @@ class WorkQueue:
     without bound — the caller keeps refused paths in its overflow list
     and re-offers next tick, so a slow pipeline throttles ingest rather
     than exhausting memory.
+
+    Thread-safe: the watch loop enqueues from its tick thread while a
+    status endpoint (or a detached drain) may inspect depth concurrently.
     """
 
     def __init__(self, capacity: int = 64):
         if capacity < 1:
             raise ConfigError("queue capacity must be >= 1")
         self.capacity = int(capacity)
-        self._items: deque[str] = deque()
-        self.rejected = 0
-        self.peak_depth = 0
+        self._lock = threading.Lock()
+        self._items: deque[str] = deque()  # guarded-by: _lock
+        self.rejected = 0  # guarded-by: _lock
+        self.peak_depth = 0  # guarded-by: _lock
 
     def __len__(self) -> int:
-        return len(self._items)
+        with self._lock:
+            return len(self._items)
 
     def offer(self, item: str) -> bool:
         """Enqueue; returns ``False`` (and counts the rejection) when full."""
-        if len(self._items) >= self.capacity:
-            self.rejected += 1
-            return False
-        self._items.append(item)
-        self.peak_depth = max(self.peak_depth, len(self._items))
-        return True
+        with self._lock:
+            if len(self._items) >= self.capacity:
+                self.rejected += 1
+                return False
+            self._items.append(item)
+            self.peak_depth = max(self.peak_depth, len(self._items))
+            return True
 
     def pop(self) -> str | None:
         """Dequeue the oldest item, or ``None`` when empty."""
-        return self._items.popleft() if self._items else None
+        with self._lock:
+            return self._items.popleft() if self._items else None
 
     def items(self) -> list[str]:
         """Snapshot of queued paths (for checkpoints and status)."""
-        return list(self._items)
+        with self._lock:
+            return list(self._items)
 
 
 class Quarantine:
@@ -166,8 +175,9 @@ class Quarantine:
     def __init__(self, directory: str):
         self.directory = os.fspath(directory)
         self.path = os.path.join(self.directory, QUARANTINE_NAME)
-        self.reasons: dict[str, str] = {}
-        self.errors: dict[str, dict | None] = {}
+        self._lock = threading.Lock()
+        self.reasons: dict[str, str] = {}  # guarded-by: _lock
+        self.errors: dict[str, dict | None] = {}  # guarded-by: _lock
         if os.path.exists(self.path):
             with open(self.path, encoding="utf-8") as handle:
                 for line in handle:
@@ -179,14 +189,17 @@ class Quarantine:
                     self.errors[entry["name"]] = entry.get("error")
 
     def __len__(self) -> int:
-        return len(self.reasons)
+        with self._lock:
+            return len(self.reasons)
 
     def __contains__(self, path: str) -> bool:
-        return os.path.basename(os.fspath(path)) in self.reasons
+        with self._lock:
+            return os.path.basename(os.fspath(path)) in self.reasons
 
     def paths(self) -> list[str]:
         """Full spool paths of every quarantined name."""
-        return [os.path.join(self.directory, name) for name in self.reasons]
+        with self._lock:
+            return [os.path.join(self.directory, name) for name in self.reasons]
 
     @staticmethod
     def describe_error(error: BaseException) -> dict:
@@ -216,10 +229,11 @@ class Quarantine:
     ) -> None:
         """Record one given-up file with the failure that condemned it."""
         name = os.path.basename(os.fspath(path))
-        self.reasons[name] = reason
         entry = {"name": name, "reason": reason, "attempts": int(attempts)}
         if error is not None:
             entry["error"] = self.describe_error(error)
-        self.errors[name] = entry.get("error")
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry) + "\n")
+        with self._lock:
+            self.reasons[name] = reason
+            self.errors[name] = entry.get("error")
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(entry) + "\n")

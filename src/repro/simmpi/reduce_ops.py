@@ -11,6 +11,8 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.errors import MPIError
+
 
 @dataclass(frozen=True)
 class ReduceOp:
@@ -25,7 +27,7 @@ class ReduceOp:
     def reduce_all(self, contributions: list[Any]) -> Any:
         """Fold the operator over per-rank contributions (rank order)."""
         if not contributions:
-            raise ValueError("cannot reduce zero contributions")
+            raise MPIError("cannot reduce zero contributions")
         acc = contributions[0]
         for value in contributions[1:]:
             acc = self.fn(acc, value)

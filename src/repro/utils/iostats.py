@@ -41,18 +41,18 @@ _CACHE_FIELDS = (
 class IOStats:
     """Thread-safe accumulator of I/O operation counts."""
 
-    opens: int = 0
-    closes: int = 0
-    seeks: int = 0
-    reads: int = 0
-    writes: int = 0
-    bytes_read: int = 0
-    bytes_written: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    cache_evictions: int = 0
-    pool_hits: int = 0
-    pool_misses: int = 0
+    opens: int = 0  # guarded-by: _lock
+    closes: int = 0  # guarded-by: _lock
+    seeks: int = 0  # guarded-by: _lock
+    reads: int = 0  # guarded-by: _lock
+    writes: int = 0  # guarded-by: _lock
+    bytes_read: int = 0  # guarded-by: _lock
+    bytes_written: int = 0  # guarded-by: _lock
+    cache_hits: int = 0  # guarded-by: _lock
+    cache_misses: int = 0  # guarded-by: _lock
+    cache_evictions: int = 0  # guarded-by: _lock
+    pool_hits: int = 0  # guarded-by: _lock
+    pool_misses: int = 0  # guarded-by: _lock
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     def record_open(self) -> None:

@@ -15,6 +15,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.errors import ConfigError
+
 
 @dataclass
 class Timer:
@@ -83,7 +85,7 @@ class VirtualTimer:
     def advance(self, seconds: float, phase: str = "other") -> float:
         """Advance the clock by ``seconds`` (>= 0) and return the new time."""
         if seconds < 0:
-            raise ValueError(f"cannot advance clock by negative time: {seconds}")
+            raise ConfigError(f"cannot advance clock by negative time: {seconds}")
         self._now += seconds
         self.phases[phase] = self.phases.get(phase, 0.0) + seconds
         return self._now

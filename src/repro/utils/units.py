@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import re
 
+from repro.errors import ConfigError
+
 KIB = 1024
 MIB = 1024**2
 GIB = 1024**3
@@ -38,15 +40,15 @@ def parse_bytes(value: int | float | str) -> int:
     """
     if isinstance(value, (int, float)):
         if value < 0:
-            raise ValueError(f"negative byte count: {value}")
+            raise ConfigError(f"negative byte count: {value}")
         return int(value)
     match = _SIZE_RE.match(value)
     if not match:
-        raise ValueError(f"cannot parse byte count: {value!r}")
+        raise ConfigError(f"cannot parse byte count: {value!r}")
     number, suffix = match.groups()
     suffix = suffix.lower() or "b"
     if suffix not in _SUFFIXES:
-        raise ValueError(f"unknown size suffix {suffix!r} in {value!r}")
+        raise ConfigError(f"unknown size suffix {suffix!r} in {value!r}")
     return int(float(number) * _SUFFIXES[suffix])
 
 

@@ -43,3 +43,19 @@ def das_dir(tmp_path):
             "170620101045",
         ],
     }
+
+
+@pytest.fixture
+def lock_sanitizer():
+    """Install the runtime lock sanitizer (repro.checks.runtime) for one
+    test: threading.Lock/RLock construct instrumented locks while the
+    fixture is active, and every recorded violation is available on the
+    yielded sanitizer."""
+    from repro.checks.runtime import LockSanitizer
+
+    sanitizer = LockSanitizer()
+    sanitizer.install()
+    try:
+        yield sanitizer
+    finally:
+        sanitizer.uninstall()

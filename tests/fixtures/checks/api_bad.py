@@ -1,0 +1,14 @@
+"""Checks fixture: public-API violations.
+
+Expected at any path: API001 (``missing_name`` is exported but never
+defined).  Scanned under a ``src/repro/hdf5lite/...`` rel the import of
+``repro.rt`` adds an API003 (hdf5lite is rank 2, rt is rank 7).
+"""
+
+from repro.rt import service
+
+__all__ = ["widget", "missing_name"]
+
+
+def widget():
+    return service and 1

@@ -1,0 +1,11 @@
+"""Checks fixture: a clean export surface — zero findings expected."""
+
+__all__ = ["widget", "Gadget"]
+
+
+def widget():
+    return 1
+
+
+class Gadget:
+    pass

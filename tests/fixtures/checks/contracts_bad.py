@@ -1,0 +1,63 @@
+"""Checks fixture: operator-contract violations.
+
+Expected: OPC001 (TotalReader), OPC002 + OPC003 (PrepassLiar), OPC003
+(HooksNoFlag), OPC005 (SinkishOp), two OPC006 (BadGeometry), and on
+OperatorishSink two OPC004 (apply + geometry) plus OPC007.
+"""
+
+
+class Operator:
+    pass
+
+
+class SinkOp:
+    pass
+
+
+class TotalReader(Operator):
+    def apply(self, data, ctx):
+        return data[: ctx.total]
+
+
+class PrepassLiar(Operator):
+    needs_prepass = True
+
+    def apply(self, data, ctx):
+        return data
+
+
+class HooksNoFlag(Operator):
+    def prepass_init(self):
+        pass
+
+    def prepass_update(self, chunk):
+        pass
+
+    def prepass_finalize(self):
+        pass
+
+    def apply(self, data, ctx):
+        return data
+
+
+class SinkishOp(Operator):
+    def consume(self, chunk):
+        pass
+
+    def apply(self, data, ctx):
+        return data
+
+
+class BadGeometry(Operator):
+    halo = (-1, 2)
+    decimate = 0
+
+    def apply(self, data, ctx):
+        return data
+
+
+class OperatorishSink(SinkOp):
+    halo = (1, 1)
+
+    def apply(self, data, ctx):
+        return data

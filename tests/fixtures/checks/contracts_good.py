@@ -1,0 +1,57 @@
+"""Checks fixture: operator contracts done right — zero findings expected.
+
+Local ``Operator``/``SinkOp`` stubs stand in for the real bases (the
+analyzer resolves subclass membership by name); ``DerivedSink`` checks
+that hooks inherited from a concrete ancestor count as implemented.
+"""
+
+
+class Operator:
+    pass
+
+
+class SinkOp:
+    pass
+
+
+class GoodOp(Operator):
+    halo = (2, 2)
+    decimate = 1
+    channel_halo = 0
+    stream_safe = True
+
+    def apply(self, data, ctx):
+        return data
+
+
+class WholeRecordOp(Operator):
+    stream_safe = False
+    needs_prepass = True
+
+    def prepass_init(self):
+        pass
+
+    def prepass_update(self, chunk):
+        pass
+
+    def prepass_finalize(self):
+        pass
+
+    def apply(self, data, ctx):
+        return data * ctx.total
+
+
+class GoodSink(SinkOp):
+    def init(self, ctx):
+        pass
+
+    def consume(self, chunk):
+        pass
+
+    def finalize(self):
+        return None
+
+
+class DerivedSink(GoodSink):
+    def consume(self, chunk):
+        pass

@@ -1,0 +1,30 @@
+"""Checks fixture: lock-discipline violations.
+
+Expected: LCK002 (ghost's guard lock never assigned) and three LCK001
+(mutation moved below the with-block, an unlocked mutating method call,
+and a mutation inside a closure that escapes its with-block).
+"""
+
+import threading
+
+
+class BadCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+        self.events = []  # guarded-by: _lock
+        self.ghost = 0  # guarded-by: _missing_lock
+
+    def bump(self):
+        with self._lock:
+            pass
+        self.count += 1  # moved outside the with-block
+
+    def log(self):
+        self.events.append("x")  # no lock at all
+
+    def closure_trap(self):
+        with self._lock:
+            def inner():
+                self.count += 1  # runs after the with-block exits
+            return inner

@@ -1,0 +1,28 @@
+"""Checks fixture: lock discipline done right — zero findings expected."""
+
+import threading
+
+
+class GoodCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+        self.events = []  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+            self.events.append("bump")
+
+    def _bump_locked(self):  # holds-lock
+        self.count += 1
+
+    def drain(self):
+        with self._lock:
+            out = list(self.events)
+            self.events.clear()
+        return out
+
+    def snapshot(self):
+        with self._lock:
+            return self.count

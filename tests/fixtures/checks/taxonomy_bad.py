@@ -1,0 +1,34 @@
+"""Checks fixture: taxonomy violations.
+
+Expected at any path: two TAX001 (bare and broad except) and one TAX003
+(silent handler).  Scanned under a ``src/repro/...`` rel (library
+context) the builtin raise adds one TAX002.
+"""
+
+
+def swallow_all(fn):
+    try:
+        return fn()
+    except:
+        return None
+
+
+def swallow_broad(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+
+
+def silent(fn):
+    try:
+        return fn()
+    except ValueError:
+        pass
+    return None
+
+
+def library_raise(x):
+    if x < 0:
+        raise ValueError("negative")
+    return x

@@ -1,0 +1,26 @@
+"""Checks fixture: exception taxonomy done right — zero findings expected."""
+
+from repro.errors import ConfigError, StorageError
+
+
+def parse(value):
+    if value < 0:
+        raise ConfigError("negative")
+    return value
+
+
+def guarded(fn):
+    try:
+        return fn()
+    except StorageError:
+        return None
+    except Exception:  # noqa: TAX001 - fixture boundary must not crash
+        return None
+
+
+def tolerant(fn):
+    try:
+        return fn()
+    except StorageError:
+        pass  # noqa: TAX003 - losses are counted elsewhere
+    return None

@@ -1,0 +1,116 @@
+"""The checks suite run against the repository itself, plus the CLI.
+
+The self-run is the real contract: ``src/repro`` (and benchmarks/,
+examples/ under the relaxed rules) must be clean modulo the committed
+baseline, so any new finding fails CI the same way a failing test does.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.checks.baseline import Baseline
+from repro.checks.runner import load_project, run_analyzers
+
+ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = ROOT / "tests" / "fixtures" / "checks"
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.checks", "--root", str(ROOT), *args],
+        capture_output=True, text=True, env=env, cwd=ROOT,
+    )
+
+
+def test_repo_is_clean_modulo_baseline():
+    project = load_project(ROOT)
+    findings = run_analyzers(project)
+    baseline = Baseline.load(ROOT / "scripts" / "checks_baseline.json")
+    new, baselined = baseline.split(findings)
+    assert new == [], "\n".join(f.format() for f in new)
+    assert baselined, "the committed waivers should be exercised"
+
+
+def test_cli_clean_run_exits_zero():
+    proc = run_cli()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "OK" in proc.stdout
+
+
+def test_cli_json_is_stable_and_sorted():
+    first = run_cli("--json")
+    second = run_cli("--json")
+    assert first.returncode == 0
+    assert first.stdout == second.stdout
+    document = json.loads(first.stdout)
+    assert document["findings"] == []
+    assert document["baselined"] > 0
+    assert document["modules_scanned"] > 100
+
+
+def test_cli_json_findings_sorted_without_baseline():
+    proc = run_cli("--json", "--no-baseline")
+    assert proc.returncode == 1
+    document = json.loads(proc.stdout)
+    keys = [
+        (f["path"], f["line"], f["code"], f["message"])
+        for f in document["findings"]
+    ]
+    assert keys == sorted(keys)
+    assert all(
+        set(f) >= {"code", "rule", "path", "line", "message", "fingerprint"}
+        for f in document["findings"]
+    )
+
+
+@pytest.mark.parametrize("name", [
+    "locks_bad.py", "taxonomy_bad.py", "contracts_bad.py", "api_bad.py",
+])
+def test_cli_bad_fixture_exits_nonzero(name):
+    proc = run_cli(str(FIXTURES / name))
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert proc.stdout.strip()
+
+
+@pytest.mark.parametrize("name", [
+    "locks_good.py", "taxonomy_good.py", "contracts_good.py", "api_good.py",
+])
+def test_cli_good_fixture_exits_zero(name):
+    proc = run_cli(str(FIXTURES / name))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_cli_only_selects_one_family():
+    proc = run_cli(str(FIXTURES / "locks_bad.py"), "--only", "exception-taxonomy")
+    assert proc.returncode == 0  # no taxonomy findings in the locks fixture
+
+
+def test_cli_unknown_rule_is_usage_error():
+    proc = run_cli("--only", "NOPE001")
+    assert proc.returncode == 2
+    assert "unknown rule" in proc.stderr
+
+
+def test_cli_list_rules():
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    for code in ("LCK001", "TAX002", "OPC007", "API003"):
+        assert code in proc.stdout
+
+
+def test_faultcheck_shim_delegates():
+    proc = subprocess.run(
+        ["bash", str(ROOT / "scripts" / "faultcheck.sh")],
+        capture_output=True, text=True, cwd=ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "repro.checks" in proc.stdout
