@@ -12,7 +12,10 @@
 # concatenated record (BENCH_rt.json).  The faults smoke run asserts
 # checksum verification costs < 10% on the cached VCA read path and that
 # masked degraded reads are equivalent to clean runs outside the masked
-# spans (BENCH_faults.json); repro.checks rejects new lock-discipline,
+# spans (BENCH_faults.json).  The compress smoke run asserts the lossless
+# codec roundtrip through storage is bit-identical and that compressed
+# source files move strictly fewer backend bytes than raw on a full VCA
+# read (BENCH_compress.json); repro.checks rejects new lock-discipline,
 # exception-taxonomy, operator-contract, and public-API findings not in
 # scripts/checks_baseline.json.
 set -euo pipefail
@@ -26,3 +29,4 @@ python benchmarks/bench_cache.py --smoke
 python benchmarks/bench_pipeline.py --smoke
 python benchmarks/bench_rt_service.py --smoke
 python benchmarks/bench_faults.py --smoke
+python benchmarks/bench_compress.py --smoke

@@ -11,7 +11,11 @@ DASS storage engine needs:
   :class:`repro.utils.IOStats`),
 * **virtual datasets** that stitch regions of datasets in other files into
   one logical array — the mechanism behind the Virtually Concatenated
-  Array (VCA).
+  Array (VCA),
+* per-chunk **codecs** (lossless and tolerance-bounded lossy, see
+  :mod:`repro.hdf5lite.codecs`) selected by a ``repro:codec`` attribute,
+  composing with CRC32 sidecars (checksum the encoded bytes) and the
+  block cache (admit decoded chunks).
 
 File layout (version 1)::
 
@@ -26,6 +30,16 @@ data region.
 from repro.hdf5lite.attributes import Attributes
 from repro.hdf5lite.cache import BlockCache, CacheConfig, FilePool
 from repro.hdf5lite.checksum import add_checksums, checksum_dataset, checksum_info
+from repro.hdf5lite.codecs import (
+    CODEC_ATTR,
+    Codec,
+    DeltaZlibCodec,
+    QuantizeCodec,
+    TransposeZlibCodec,
+    available_codecs,
+    register_codec,
+    resolve_codec,
+)
 from repro.hdf5lite.dataset import Dataset
 from repro.hdf5lite.file import File, Group
 from repro.hdf5lite.hyperslab import (
@@ -51,6 +65,14 @@ __all__ = [
     "add_checksums",
     "checksum_dataset",
     "checksum_info",
+    "CODEC_ATTR",
+    "Codec",
+    "DeltaZlibCodec",
+    "TransposeZlibCodec",
+    "QuantizeCodec",
+    "available_codecs",
+    "register_codec",
+    "resolve_codec",
     "normalize_selection",
     "selection_shape",
     "coalesce_runs",

@@ -124,13 +124,9 @@ def checksum_dataset(ds: "Dataset", block_size: int = DEFAULT_CHECKSUM_BLOCK) ->
         ds._file._crc_cache.pop(ds.path, None)
         return True
     if layout == LAYOUT_CHUNKED:
-        chunks = ds.chunks
-        assert chunks is not None
-        itemsize = ds.itemsize
         keys, crcs = [], []
         for key, offset in ds._meta["chunk_index"].items():
-            count = _chunk_shape(key, chunks, ds.shape)
-            nbytes = int(np.prod(count, dtype=np.int64)) * itemsize
+            nbytes = _chunk_stored_nbytes(ds, key)
             crcs.append(zlib.crc32(backend.read_at(int(offset), nbytes)) & 0xFFFFFFFF)
             keys.append(key)
         ds.attrs[CRC_ATTR] = crcs
@@ -149,6 +145,48 @@ def _chunk_shape(
     return tuple(
         min(c, dim - ci * c) for ci, c, dim in zip(coord, chunks, shape)
     )
+
+
+def _chunk_stored_nbytes(ds: "Dataset", key: str) -> int:
+    """Bytes the chunk occupies *on disk* — the encoded payload size for
+    codec datasets (``chunk_enc``), else shape × itemsize.  CRCs always
+    cover the stored bytes, so corruption is caught before any decode."""
+    enc = ds._meta.get("chunk_enc")
+    if enc is not None and key in enc:
+        return int(enc[key])
+    chunks = ds.chunks
+    if chunks is None:
+        raise FormatError(f"{ds.path}: chunk {key} on a non-chunked dataset")
+    return (
+        int(np.prod(_chunk_shape(key, chunks, ds.shape), dtype=np.int64))
+        * ds.itemsize
+    )
+
+
+def update_chunk_crc(ds: "Dataset", key: str, payload: bytes) -> None:
+    """Refresh one chunk's sidecar CRC after a hyperslab write re-stored
+    its bytes (``payload`` is exactly what went to disk — encoded bytes on
+    codec datasets).  Like :func:`update_contiguous_crcs`, writers keep
+    the sidecar true even when read-side verification is off."""
+    crcs_attr = ds.attrs.get(CRC_ATTR)
+    keys_attr = ds.attrs.get(CRC_KEYS_ATTR)
+    if crcs_attr is None or keys_attr is None:
+        return
+    if int(ds.attrs.get(CRC_BLOCK_ATTR, 0)) != 0:
+        return
+    keys = [str(k) for k in keys_attr]
+    crcs = [int(c) for c in crcs_attr]
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    try:
+        i = keys.index(key)
+    except ValueError:
+        keys.append(key)
+        crcs.append(crc)
+        ds.attrs[CRC_KEYS_ATTR] = keys
+    else:
+        crcs[i] = crc
+    ds.attrs[CRC_ATTR] = crcs
+    ds._file._crc_cache.pop(ds.path, None)
 
 
 def add_checksums(file, block_size: int = DEFAULT_CHECKSUM_BLOCK) -> int:
@@ -182,17 +220,15 @@ def verify_dataset(ds: "Dataset") -> list[tuple[int, str]]:
     backend = ds._file._backend
     problems: list[tuple[int, str]] = []
     if info.chunked:
-        chunks = ds.chunks
-        if chunks is None:
+        if ds.chunks is None:
             return [(0, "checksum sidecar claims chunks on a non-chunked dataset")]
-        itemsize = ds.itemsize
         index = ds._meta.get("chunk_index", {})
         for key, expected in info.chunk_crcs.items():
             if key not in index:
                 problems.append((0, f"checksummed chunk {key} missing from index"))
                 continue
             offset = int(index[key])
-            nbytes = int(np.prod(_chunk_shape(key, chunks, ds.shape), dtype=np.int64)) * itemsize
+            nbytes = _chunk_stored_nbytes(ds, key)
             try:
                 verify_block(
                     ds._file.filename, offset, backend.read_at(offset, nbytes),

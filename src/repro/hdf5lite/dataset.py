@@ -20,9 +20,11 @@ from repro.hdf5lite.attributes import Attributes
 from repro.hdf5lite.checksum import (
     ChecksumInfo,
     checksum_info,
+    update_chunk_crc,
     update_contiguous_crcs,
     verify_block,
 )
+from repro.hdf5lite.codecs import CODEC_ATTR, Codec, resolve_codec
 from repro.hdf5lite.hyperslab import (
     Hyperslab,
     coalesce_runs,
@@ -46,6 +48,33 @@ def _chunk_key(coord: Sequence[int]) -> str:
     return ",".join(str(c) for c in coord)
 
 
+def _strided_chunk_overlap(
+    hs: Hyperslab, chunk_start: Sequence[int], chunk_count: Sequence[int]
+) -> tuple[tuple[slice, ...], tuple[slice, ...]] | None:
+    """Intersect a (possibly strided) selection with one chunk.
+
+    Returns ``(local, vals)`` slices — ``local`` indexes the chunk's own
+    array, ``vals`` the caller's value array of shape ``hs.count`` — or
+    ``None`` when the selection's lattice misses the chunk entirely.
+    """
+    local, vals = [], []
+    for a, n, st, c0, cn in zip(
+        hs.start, hs.count, hs.stride, chunk_start, chunk_count
+    ):
+        if n == 0:
+            return None
+        first = max(0, -(-(c0 - a) // st))
+        last = min(n - 1, (c0 + cn - 1 - a) // st)
+        if first > last:
+            return None
+        local.append(slice(a + first * st - c0, a + last * st - c0 + 1, st))
+        vals.append(slice(first, last + 1))
+    return tuple(local), tuple(vals)
+
+
+_CODEC_UNSET = object()
+
+
 class Dataset:
     """A dataset inside an hdf5lite file.
 
@@ -65,6 +94,7 @@ class Dataset:
         )
         # Attributes copies the dict; rebind so mutations persist into meta.
         self._meta["attrs"] = self.attrs._data
+        self._codec_resolved = _CODEC_UNSET
 
     # -- basic properties ----------------------------------------------------
     @property
@@ -100,6 +130,21 @@ class Dataset:
         if self.layout != LAYOUT_CHUNKED:
             return None
         return tuple(self._meta["chunks"])
+
+    @property
+    def codec(self) -> "Codec | None":
+        """The per-chunk codec named by the ``repro:codec`` attribute, or
+        ``None`` for raw (uncompressed) storage.  Resolved once per
+        Dataset object; unknown codec names raise ``FormatError`` at
+        first data access, not at open."""
+        if self._codec_resolved is _CODEC_UNSET:
+            spec = (
+                self.attrs.get(CODEC_ATTR)
+                if self.layout == LAYOUT_CHUNKED
+                else None
+            )
+            self._codec_resolved = resolve_codec(spec) if spec is not None else None
+        return self._codec_resolved
 
     @property
     def virtual_sources(self) -> list[VirtualSource]:
@@ -352,6 +397,7 @@ class Dataset:
 
         chunks = self.chunks
         assert chunks is not None
+        codec = self.codec
         info = self._checksums()
         chunk_crcs = info.chunk_crcs if info is not None and info.chunked else None
         out = np.empty(hs.count, dtype=self.dtype)
@@ -400,7 +446,17 @@ class Dataset:
                     slice(o - s, o - s + n)
                     for o, s, n in zip(overlap.start, hs.start, overlap.count)
                 )
-                if cache is not None and chunk_nbytes <= cache.config.byte_budget:
+                if codec is not None:
+                    chunk_arr = self._load_codec_chunk(
+                        codec, key, chunk_offset, chunk_count,
+                        crc_expected, cache,
+                    )
+                    local_sel = tuple(
+                        slice(s, s + n)
+                        for s, n in zip(local.start, local.count)
+                    )
+                    out[dest] = chunk_arr[local_sel]
+                elif cache is not None and chunk_nbytes <= cache.config.byte_budget:
                     # Chunk-granular caching: a miss loads the whole chunk in
                     # one request (run-coalescing for free); later touches of
                     # any part of the chunk are memory copies.
@@ -466,6 +522,60 @@ class Dataset:
                 break
         return out
 
+    def _encoded_nbytes(self, ckey: str) -> int:
+        """On-disk payload size of one encoded chunk (``chunk_enc``)."""
+        enc = self._meta.get("chunk_enc", {})
+        if ckey not in enc:
+            raise FormatError(
+                f"missing encoded size for chunk {ckey} in {self.path}"
+            )
+        return int(enc[ckey])
+
+    def _load_codec_chunk(
+        self,
+        codec: "Codec",
+        ckey: str,
+        chunk_offset: int,
+        chunk_count: tuple[int, ...],
+        crc_expected: int | None,
+        cache: "BlockCache | None",
+    ) -> np.ndarray:
+        """One decoded chunk, via the cache when possible.
+
+        The cache holds *decoded* bytes under the same ``(file, "chunk",
+        offset)`` key raw chunks use, so decompression runs once per
+        cached block; the CRC covers the *encoded* payload and is checked
+        before decode, only on the miss path.
+        """
+        backend = self._file._backend
+        enc_nbytes = self._encoded_nbytes(ckey)
+        dec_nbytes = (
+            int(np.prod(chunk_count, dtype=np.int64)) * self.itemsize
+        )
+        if cache is not None and dec_nbytes <= cache.config.byte_budget:
+            cache_key = (self._file._cache_key, "chunk", chunk_offset)
+            raw = cache.get(cache_key, backend.iostats)
+            if raw is not None:
+                return np.frombuffer(raw, dtype=self.dtype).reshape(chunk_count)
+            payload = backend.read_at(chunk_offset, enc_nbytes)
+            if crc_expected is not None:
+                verify_block(
+                    self._file.filename, chunk_offset, payload,
+                    crc_expected, what=f"chunk {ckey}",
+                )
+            arr = np.ascontiguousarray(
+                codec.decode(payload, chunk_count, self.dtype)
+            )
+            cache.put(cache_key, arr.tobytes(), backend.iostats)
+            return arr
+        payload = backend.read_at(chunk_offset, enc_nbytes)
+        if crc_expected is not None:
+            verify_block(
+                self._file.filename, chunk_offset, payload,
+                crc_expected, what=f"chunk {ckey}",
+            )
+        return codec.decode(payload, chunk_count, self.dtype)
+
     def _read_virtual(self, hs: Hyperslab) -> np.ndarray:
         if any(s != 1 for s in hs.stride):
             bounding = Hyperslab(
@@ -525,9 +635,10 @@ class Dataset:
         """Write ``values`` (shape ``hs.count``) into the hyperslab."""
         if not self._file.writable:
             raise FormatError("file is not writable")
-        if self.layout != LAYOUT_CONTIGUOUS:
+        if self.layout not in (LAYOUT_CONTIGUOUS, LAYOUT_CHUNKED):
             raise FormatError(
-                f"writes are only supported on contiguous datasets, not {self.layout}"
+                f"writes are only supported on contiguous or chunked "
+                f"datasets, not {self.layout}"
             )
         if not hs.within(self.shape):
             raise SelectionError(
@@ -538,6 +649,9 @@ class Dataset:
             raise SelectionError(
                 f"value shape {values.shape} != selection shape {hs.count}"
             )
+        if self.layout == LAYOUT_CHUNKED:
+            self._write_chunked(hs, values)
+            return
         base = int(self._meta["offset"])
         itemsize = self.itemsize
         flat = values.reshape(-1).view(np.uint8)
@@ -560,6 +674,107 @@ class Dataset:
             # Keep any checksum sidecar true to the new bytes (writers
             # update it even when read-side verification is off).
             update_contiguous_crcs(self, byte_lo, byte_hi)
+
+    def _write_chunked(self, hs: Hyperslab, values: np.ndarray) -> None:
+        """Read-modify-rewrite every chunk the selection touches.
+
+        On codec datasets the touched chunk is decoded, patched, and
+        re-encoded; a payload that grew past its old slot is appended to
+        the data region and the chunk index repointed (the old bytes are
+        dead — acceptable for an append-only format).  Each stored
+        payload refreshes its sidecar CRC, so checksums always cover the
+        encoded bytes actually on disk.
+        """
+        if hs.size == 0:
+            return
+        chunks = self.chunks
+        assert chunks is not None
+        codec = self.codec
+        index: dict[str, int] = self._meta["chunk_index"]
+        lo = [s // c for s, c in zip(hs.start, chunks)]
+        hi = [
+            (s + (n - 1) * st) // c
+            for s, n, st, c in zip(hs.start, hs.count, hs.stride, chunks)
+        ]
+        coord = list(lo)
+        while True:
+            chunk_start = tuple(ci * c for ci, c in zip(coord, chunks))
+            chunk_count = tuple(
+                min(c, dim - cs)
+                for c, cs, dim in zip(chunks, chunk_start, self.shape)
+            )
+            sel = _strided_chunk_overlap(hs, chunk_start, chunk_count)
+            if sel is not None:
+                local_sel, vals_sel = sel
+                ckey = _chunk_key(coord)
+                if ckey not in index:
+                    raise FormatError(f"missing chunk {ckey} in {self.path}")
+                chunk_arr = self._chunk_for_update(ckey, chunk_count, codec)
+                chunk_arr[local_sel] = values[vals_sel]
+                self._store_chunk(ckey, chunk_arr, codec)
+            dim_idx = len(coord) - 1
+            while dim_idx >= 0:
+                coord[dim_idx] += 1
+                if coord[dim_idx] <= hi[dim_idx]:
+                    break
+                coord[dim_idx] = lo[dim_idx]
+                dim_idx -= 1
+            if dim_idx < 0:
+                break
+        self._file._mark_dirty()
+        self._file._invalidate_cache()
+
+    def _chunk_for_update(
+        self, ckey: str, chunk_count: tuple[int, ...], codec: "Codec | None"
+    ) -> np.ndarray:
+        """The chunk's current contents as a writable array (CRC-verified
+        when the file verifies reads — a read-modify-write must not
+        silently launder corruption into a fresh checksum)."""
+        backend = self._file._backend
+        chunk_offset = int(self._meta["chunk_index"][ckey])
+        info = self._checksums()
+        crc = (
+            info.chunk_crcs.get(ckey)
+            if info is not None and info.chunked
+            else None
+        )
+        if codec is not None:
+            payload = backend.read_at(chunk_offset, self._encoded_nbytes(ckey))
+            if crc is not None:
+                verify_block(
+                    self._file.filename, chunk_offset, payload, crc,
+                    what=f"chunk {ckey}",
+                )
+            arr = np.asarray(codec.decode(payload, chunk_count, self.dtype))
+            return arr if arr.flags.writeable else arr.copy()
+        nbytes = int(np.prod(chunk_count, dtype=np.int64)) * self.itemsize
+        raw = backend.read_at(chunk_offset, nbytes)
+        if crc is not None:
+            verify_block(
+                self._file.filename, chunk_offset, raw, crc,
+                what=f"chunk {ckey}",
+            )
+        return np.frombuffer(raw, dtype=self.dtype).reshape(chunk_count).copy()
+
+    def _store_chunk(
+        self, ckey: str, chunk_arr: np.ndarray, codec: "Codec | None"
+    ) -> None:
+        backend = self._file._backend
+        index: dict[str, int] = self._meta["chunk_index"]
+        chunk_offset = int(index[ckey])
+        chunk_arr = np.ascontiguousarray(chunk_arr)
+        if codec is None:
+            payload = chunk_arr.tobytes()
+            backend.write_at(chunk_offset, payload)
+        else:
+            payload = codec.encode(chunk_arr)
+            if len(payload) <= self._encoded_nbytes(ckey):
+                backend.write_at(chunk_offset, payload)
+            else:
+                chunk_offset = self._file._append_data(payload)
+                index[ckey] = chunk_offset
+            self._meta["chunk_enc"][ckey] = len(payload)
+        update_chunk_crc(self, ckey, payload)
 
     # -- streaming ---------------------------------------------------------------
     def iter_blocks(self, rows_per_block: int):

@@ -32,6 +32,7 @@ from repro.hdf5lite.cache import (
     normalize_file_key,
     resolve_cache,
 )
+from repro.hdf5lite.codecs import CODEC_ATTR, resolve_codec
 from repro.hdf5lite.dataset import (
     LAYOUT_CHUNKED,
     LAYOUT_CONTIGUOUS,
@@ -162,6 +163,7 @@ class Group:
         fill: float = 0,
         checksum: bool = False,
         checksum_block: int | None = None,
+        codec: object = None,
     ) -> Dataset:
         """Create a dataset under this group.
 
@@ -175,9 +177,23 @@ class Group:
         :mod:`repro.hdf5lite.checksum`) verified on every subsequent read;
         ``checksum_block`` overrides the contiguous block size.  Virtual
         datasets hold no local bytes, so the flag is a no-op for them.
+
+        ``codec`` — a codec spec string (``"delta-zlib"``,
+        ``"transpose-zlib"``, ``"quantize:1e-3"``) or
+        :class:`~repro.hdf5lite.codecs.Codec` instance: each chunk is
+        stored encoded and the choice recorded in the ``repro:codec``
+        attribute, so files without a codec stay readable unchanged.
+        Codecs require a chunked layout (contiguous offset arithmetic
+        assumes fixed-size elements); combined with ``checksum=True`` the
+        CRCs cover the *encoded* bytes — corruption is caught before any
+        decode.
         """
         if not self._file.writable:
             raise FormatError("file is not writable")
+        if codec is not None and chunks is None:
+            raise FormatError(
+                "codec requires a chunked layout (pass chunks=...)"
+            )
         parts = _split_path(name)
         if not parts:
             raise FormatError("empty dataset name")
@@ -211,7 +227,9 @@ class Group:
                 raise FormatError(
                     f"chunk shape {chunks} invalid for data of rank {arr.ndim}"
                 )
+            resolved = resolve_codec(codec) if codec is not None else None
             index: dict[str, int] = {}
+            enc_sizes: dict[str, int] = {}
             grid = [
                 (dim + c - 1) // c for dim, c in zip(arr.shape, chunks)
             ]
@@ -222,8 +240,15 @@ class Group:
                     for ci, c, dim in zip(coord, chunks, arr.shape)
                 )
                 chunk_data = np.ascontiguousarray(arr[slicer])
-                offset = self._file._append_data(chunk_data.tobytes())
+                payload = (
+                    resolved.encode(chunk_data)
+                    if resolved is not None
+                    else chunk_data.tobytes()
+                )
+                offset = self._file._append_data(payload)
                 index[_chunk_key(coord)] = offset
+                if resolved is not None:
+                    enc_sizes[_chunk_key(coord)] = len(payload)
                 dim_idx = arr.ndim - 1
                 while dim_idx >= 0:
                     coord[dim_idx] += 1
@@ -241,6 +266,8 @@ class Group:
                 "chunk_index": index,
                 "attrs": {},
             }
+            if resolved is not None:
+                meta["chunk_enc"] = enc_sizes
         else:
             if data is not None:
                 arr = np.ascontiguousarray(data)
@@ -270,6 +297,10 @@ class Group:
         parent._node["datasets"][ds_name] = meta
         self._file._mark_dirty()
         ds = self._file._dataset_for(parent._child_path(ds_name), meta)
+        if meta["layout"] == LAYOUT_CHUNKED and "chunk_enc" in meta:
+            # Record the codec before checksumming: the sidecar must
+            # cover exactly the encoded bytes the index points at.
+            ds.attrs[CODEC_ATTR] = resolved.spec
         if checksum and meta["layout"] != LAYOUT_VIRTUAL:
             from repro.hdf5lite.checksum import DEFAULT_CHECKSUM_BLOCK, checksum_dataset
 

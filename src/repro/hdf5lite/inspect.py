@@ -15,7 +15,8 @@ from dataclasses import dataclass
 
 from repro.errors import FormatError
 from repro.hdf5lite.binary import HEADER_SIZE
-from repro.hdf5lite.checksum import verify_dataset
+from repro.hdf5lite.checksum import _chunk_stored_nbytes, verify_dataset
+from repro.hdf5lite.codecs import CODEC_ATTR, resolve_codec
 from repro.hdf5lite.dataset import (
     LAYOUT_CHUNKED,
     LAYOUT_CONTIGUOUS,
@@ -53,6 +54,17 @@ def describe(file: File, attrs: bool = False) -> str:
                 extra = ""
                 if child.layout == LAYOUT_CHUNKED:
                     extra = f" chunks={child.chunks}"
+                    spec = child.attrs.get(CODEC_ATTR)
+                    if spec is not None:
+                        try:
+                            kind = (
+                                "lossless"
+                                if resolve_codec(spec).lossless
+                                else "lossy"
+                            )
+                            extra += f" codec={spec} ({kind})"
+                        except FormatError:
+                            extra += f" codec={spec} (unresolvable)"
                 elif child.layout == LAYOUT_VIRTUAL:
                     extra = f" sources={len(child.virtual_sources)}"
                 lines.append(
@@ -106,13 +118,47 @@ def verify(file: File, check_sources: bool = True) -> list[Problem]:
                         f"chunk index has {len(index)} entries, expected {expected}",
                     )
                 )
-            chunk_bytes = ds.itemsize
-            for c in chunks:
-                chunk_bytes *= c
+            enc_sizes = ds._meta.get("chunk_enc")
+            spec = ds.attrs.get(CODEC_ATTR)
+            if spec is not None:
+                try:
+                    resolve_codec(spec)
+                except FormatError as exc:
+                    problems.append(Problem(ds.path, f"bad codec: {exc}"))
+                if enc_sizes is None:
+                    problems.append(
+                        Problem(ds.path, "codec dataset lacks a chunk_enc size map")
+                    )
+                else:
+                    for key in index:
+                        if key not in enc_sizes:
+                            problems.append(
+                                Problem(
+                                    ds.path,
+                                    f"chunk {key} missing from the chunk_enc size map",
+                                )
+                            )
+            elif enc_sizes is not None:
+                problems.append(
+                    Problem(ds.path, "chunk_enc size map without a codec attribute")
+                )
             for key, offset in index.items():
                 if not (HEADER_SIZE <= int(offset) < data_end):
                     problems.append(
                         Problem(ds.path, f"chunk {key} offset {offset} out of range")
+                    )
+                    continue
+                try:
+                    stored = _chunk_stored_nbytes(ds, key)
+                except FormatError:
+                    continue
+                if int(offset) + stored > min(data_end, file_size):
+                    problems.append(
+                        Problem(
+                            ds.path,
+                            f"chunk {key} extent [{offset}, {int(offset) + stored}) "
+                            f"exceeds the data region",
+                        )
                     )
         elif layout == LAYOUT_VIRTUAL:
             for source in ds.virtual_sources:

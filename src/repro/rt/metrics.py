@@ -17,6 +17,15 @@ from collections import deque
 from repro.errors import ConfigError
 
 
+def _interpolate(ordered: list[float], q: float) -> float:
+    """Linear-interpolated ``q``-th percentile of a pre-sorted sample list."""
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
 class LatencyStats:
     """Bounded-reservoir latency samples with exact percentiles.
 
@@ -41,24 +50,23 @@ class LatencyStats:
         """The ``q``-th percentile (0-100) of the retained window."""
         if not self._samples:
             return None
-        ordered = sorted(self._samples)
-        rank = (q / 100.0) * (len(ordered) - 1)
-        lo = int(rank)
-        hi = min(lo + 1, len(ordered) - 1)
-        frac = rank - lo
-        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+        return _interpolate(sorted(self._samples), q)
 
     @property
     def mean(self) -> float | None:
         return self.total / self.count if self.count else None
 
     def snapshot(self) -> dict:
+        # One copy, one sort: the deque may be appended to concurrently by
+        # the service thread, so iterate it exactly once and derive every
+        # statistic from that frozen copy.
+        ordered = sorted(self._samples)
         return {
             "count": self.count,
             "mean_s": self.mean,
-            "p50_s": self.percentile(50),
-            "p95_s": self.percentile(95),
-            "max_s": max(self._samples) if self._samples else None,
+            "p50_s": _interpolate(ordered, 50) if ordered else None,
+            "p95_s": _interpolate(ordered, 95) if ordered else None,
+            "max_s": ordered[-1] if ordered else None,
         }
 
 

@@ -34,6 +34,8 @@ def write_das_file(
     dtype: object = np.float32,
     iostats: IOStats | None = None,
     checksum: bool = False,
+    chunks: tuple[int, int] | None = None,
+    codec: object = None,
 ) -> str:
     """Write one DAS file; returns the path.
 
@@ -42,6 +44,12 @@ def write_das_file(
     written (1-based indices, as in the paper).  ``checksum=True`` stores
     a per-block CRC32 sidecar on ``DataCT`` so readers detect silent
     corruption (see :mod:`repro.hdf5lite.checksum`).
+
+    ``codec`` selects per-chunk compression for ``DataCT`` (see
+    :mod:`repro.hdf5lite.codecs`); codecs require a chunked layout, so
+    when ``chunks`` is not given the data is chunked as all channels ×
+    up to 8192 samples (whole-channel-block reads stay one chunk run).
+    Readers need no flag — the codec rides in the file's attributes.
     """
     data = np.asarray(data)
     if data.ndim != 2:
@@ -58,11 +66,17 @@ def write_das_file(
         n_channels=n_channels,
         extras=dict(metadata.extras),
     )
+    if codec is not None and chunks is None:
+        chunks = (n_channels, min(n_samples, 8192))
     path = os.fspath(path)
     with File(path, "w", iostats=iostats) as f:
         f.attrs.update_many(meta.to_attrs())
         f.create_dataset(
-            DATASET_NAME, data=data.astype(dtype, copy=False), checksum=checksum
+            DATASET_NAME,
+            data=data.astype(dtype, copy=False),
+            chunks=chunks,
+            codec=codec,
+            checksum=checksum,
         )
         if channel_groups:
             measurement = f.create_group(CHANNEL_GROUP)

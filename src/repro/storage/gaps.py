@@ -59,23 +59,40 @@ class GapMap:
     def add(self, span: GapSpan) -> None:
         """Record a span; overlapping/adjacent spans of the same source and
         reason coalesce (chunked reads report the same lost file once per
-        chunk — the map keeps one record)."""
-        for i, held in enumerate(self.spans):
-            if (
-                held.source == span.source
-                and held.reason == span.reason
-                and held.t0 <= span.t1
-                and span.t0 <= held.t1
-            ):
-                self.spans[i] = GapSpan(
-                    source=held.source,
-                    t0=min(held.t0, span.t0),
-                    t1=max(held.t1, span.t1),
-                    reason=held.reason,
-                    attempts=max(held.attempts, span.attempts),
-                )
-                return
-        self.spans.append(span)
+        chunk — the map keeps one record).
+
+        Coalescing is transitive: a bridging span that connects two held
+        spans collapses all three into one record, so the invariant "no
+        two spans of the same (source, reason) overlap or touch" holds
+        after every add.
+        """
+        merged = span
+        pool = self.spans
+        while True:
+            rest: list[GapSpan] = []
+            changed = False
+            for held in pool:
+                if (
+                    held.source == merged.source
+                    and held.reason == merged.reason
+                    and held.t0 <= merged.t1
+                    and merged.t0 <= held.t1
+                ):
+                    merged = GapSpan(
+                        source=merged.source,
+                        t0=min(held.t0, merged.t0),
+                        t1=max(held.t1, merged.t1),
+                        reason=merged.reason,
+                        attempts=max(held.attempts, merged.attempts),
+                    )
+                    changed = True
+                else:
+                    rest.append(held)
+            pool = rest
+            if not changed:
+                break
+        pool.append(merged)
+        self.spans[:] = pool
 
     def record(
         self, source: str, t0: int, t1: int, reason: str, attempts: int = 1

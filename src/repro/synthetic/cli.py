@@ -40,6 +40,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write per-channel Measurement/<i> metadata groups",
     )
     parser.add_argument(
+        "--codec",
+        default=None,
+        metavar="SPEC",
+        help="per-chunk compression of DataCT, e.g. 'transpose-zlib', "
+        "'delta-zlib' or 'quantize:1e-3' (default: raw)",
+    )
+    parser.add_argument(
         "--drip",
         type=float,
         default=None,
@@ -69,6 +76,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 start_timestamp=args.start,
                 channel_groups=args.channel_groups,
                 interval_seconds=args.drip,
+                codec=args.codec,
             ):
                 print(path, flush=True)
         else:
@@ -79,6 +87,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 samples_per_minute=args.spm,
                 start_timestamp=args.start,
                 channel_groups=args.channel_groups,
+                codec=args.codec,
             )
             for path in paths:
                 print(path)

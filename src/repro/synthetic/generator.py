@@ -147,12 +147,15 @@ def generate_dataset(
     start_timestamp: str = "170620100545",
     prefix: str = "westSac",
     channel_groups: bool = False,
+    codec: object = None,
 ) -> list[str]:
     """Write a scene as per-minute DAS files (the acquisition layout).
 
     Returns the file paths in time order.  ``channel_groups=False`` skips
     the per-channel Fig. 4 metadata groups (they're exercised separately;
-    at 10k+ channels they dominate file-creation time).
+    at 10k+ channels they dominate file-creation time).  ``codec``
+    selects per-chunk compression of each file's ``DataCT`` (see
+    :mod:`repro.hdf5lite.codecs`).
     """
     if scene is None:
         scene = fig1b_scene(minutes=minutes, samples_per_minute=samples_per_minute)
@@ -172,7 +175,9 @@ def generate_dataset(
             n_channels=scene.n_channels,
         )
         path = os.path.join(directory, das_filename(stamp, prefix=prefix))
-        write_das_file(path, block, metadata, channel_groups=channel_groups)
+        write_das_file(
+            path, block, metadata, channel_groups=channel_groups, codec=codec
+        )
         paths.append(path)
         stamp = timestamp_add_seconds(stamp, spm / scene.fs)
     return paths
@@ -188,6 +193,7 @@ def drip_feed_dataset(
     channel_groups: bool = False,
     interval_seconds: float = 0.0,
     sleep=None,
+    codec: object = None,
 ):
     """Yield per-minute file paths one at a time, like a live acquisition.
 
@@ -223,7 +229,9 @@ def drip_feed_dataset(
         tmp = os.path.join(
             directory, "." + os.path.basename(path) + ".part"
         )
-        write_das_file(tmp, block, metadata, channel_groups=channel_groups)
+        write_das_file(
+            tmp, block, metadata, channel_groups=channel_groups, codec=codec
+        )
         os.replace(tmp, path)
         yield path
         stamp = timestamp_add_seconds(stamp, spm / scene.fs)

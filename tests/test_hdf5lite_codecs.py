@@ -1,0 +1,311 @@
+"""Codec layer: registry, roundtrips, and integration with the file API."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, FormatError
+from repro.hdf5lite import (
+    BlockCache,
+    CacheConfig,
+    Codec,
+    File,
+    available_codecs,
+    register_codec,
+    resolve_codec,
+)
+from repro.hdf5lite.codecs import (
+    CODEC_ATTR,
+    DeltaZlibCodec,
+    QuantizeCodec,
+    TransposeZlibCodec,
+)
+from repro.hdf5lite.inspect import describe, verify
+from repro.utils.iostats import IOStats
+
+
+@pytest.fixture
+def tmpfile(tmp_path):
+    return str(tmp_path / "t.h5")
+
+
+def _signal(shape=(16, 300), dtype=np.float32, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.normal(size=shape), axis=-1).astype(dtype)
+
+
+LOSSLESS = [DeltaZlibCodec(), TransposeZlibCodec()]
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        assert {"delta-zlib", "transpose-zlib", "quantize"} <= set(
+            available_codecs()
+        )
+
+    def test_spec_roundtrip(self):
+        for spec in ["delta-zlib", "transpose-zlib:9", "quantize:0.001"]:
+            assert resolve_codec(resolve_codec(spec).spec).spec == resolve_codec(spec).spec
+
+    def test_unknown_codec_is_format_error(self):
+        with pytest.raises(FormatError, match="unknown codec"):
+            resolve_codec("lz77-nope")
+
+    def test_malformed_params_are_format_errors(self):
+        for spec in ["quantize", "quantize:a:b:c", "delta-zlib:x", "delta-zlib:1:2"]:
+            with pytest.raises((FormatError, ConfigError)):
+                resolve_codec(spec)
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ConfigError):
+            DeltaZlibCodec(level=11)
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ConfigError):
+            QuantizeCodec(0.0)
+
+    def test_register_custom_codec(self):
+        class Raw(Codec):
+            spec = "unit-raw"
+
+            def encode(self, arr):
+                return np.ascontiguousarray(arr).tobytes()
+
+            def decode(self, payload, shape, dtype):
+                return np.frombuffer(payload, dtype=dtype).reshape(shape)
+
+        register_codec("unit-raw", lambda params: Raw())
+        assert resolve_codec("unit-raw").spec == "unit-raw"
+        with pytest.raises(ConfigError):
+            register_codec("bad:name", lambda params: Raw())
+
+    def test_codec_instance_passthrough(self):
+        c = DeltaZlibCodec()
+        assert resolve_codec(c) is c
+
+
+class TestLosslessRoundtrip:
+    @pytest.mark.parametrize("codec", LOSSLESS, ids=lambda c: c.spec)
+    @pytest.mark.parametrize(
+        "dtype", [np.float32, np.float64, np.int16, np.int32, np.uint8]
+    )
+    def test_bit_exact(self, codec, dtype):
+        arr = (_signal(dtype=np.float64) * 50).astype(dtype)
+        out = codec.decode(codec.encode(arr), arr.shape, arr.dtype)
+        assert out.dtype == arr.dtype
+        np.testing.assert_array_equal(out, arr)
+
+    @pytest.mark.parametrize("codec", LOSSLESS, ids=lambda c: c.spec)
+    def test_preserves_nan_inf_bits(self, codec):
+        arr = _signal()
+        arr[1, 3] = np.nan
+        arr[2, 7] = np.inf
+        arr[3, 9] = -np.inf
+        out = codec.decode(codec.encode(arr), arr.shape, arr.dtype)
+        np.testing.assert_array_equal(
+            out.view(np.uint32), arr.view(np.uint32)
+        )
+
+    @pytest.mark.parametrize("codec", LOSSLESS, ids=lambda c: c.spec)
+    def test_empty_and_single(self, codec):
+        for arr in [np.zeros((0,), np.float32), np.array([3.5], np.float32)]:
+            out = codec.decode(codec.encode(arr), arr.shape, arr.dtype)
+            np.testing.assert_array_equal(out, arr)
+
+    @pytest.mark.parametrize("codec", LOSSLESS, ids=lambda c: c.spec)
+    def test_truncated_payload_is_format_error(self, codec):
+        arr = _signal()
+        payload = codec.encode(arr)
+        with pytest.raises(FormatError):
+            codec.decode(payload[: len(payload) // 2], arr.shape, arr.dtype)
+        with pytest.raises(FormatError):
+            codec.decode(payload, (arr.shape[0], arr.shape[1] + 1), arr.dtype)
+
+    def test_compresses_smooth_data(self):
+        # The point of the layer: fewer stored bytes than raw on real-ish
+        # (band-limited, spatially coherent) signals.
+        arr = _signal(shape=(64, 2000))
+        raw = arr.nbytes
+        assert len(TransposeZlibCodec().encode(arr)) < raw
+
+
+class TestQuantize:
+    def test_tolerance_bound_holds(self):
+        arr = _signal(dtype=np.float64)
+        for tol in [1e-1, 1e-3, 1e-6]:
+            c = QuantizeCodec(tol)
+            out = c.decode(c.encode(arr), arr.shape, arr.dtype)
+            assert np.max(np.abs(out - arr)) <= tol
+
+    def test_non_finite_preserved_exactly(self):
+        arr = _signal()
+        arr[0, 0] = np.nan
+        arr[5, 5] = np.inf
+        arr[9, 9] = -np.inf
+        c = QuantizeCodec(1e-2)
+        out = c.decode(c.encode(arr), arr.shape, arr.dtype)
+        assert np.isnan(out[0, 0])
+        assert out[5, 5] == np.inf and out[9, 9] == -np.inf
+        finite = np.isfinite(arr)
+        assert np.max(np.abs(out[finite] - arr[finite])) <= 1e-2
+
+    def test_integer_dtype_rejected(self):
+        c = QuantizeCodec(0.5)
+        with pytest.raises(FormatError, match="float"):
+            c.encode(np.arange(10, dtype=np.int32))
+        with pytest.raises(FormatError, match="float"):
+            c.decode(b"x", (1,), np.int32)
+
+    def test_overflowing_tolerance_rejected(self):
+        c = QuantizeCodec(1e-300)
+        with pytest.raises(FormatError, match="overflow"):
+            c.encode(np.array([1e30], dtype=np.float64))
+
+    def test_not_lossless_flag(self):
+        assert QuantizeCodec(1e-3).lossless is False
+        assert DeltaZlibCodec().lossless is True
+
+    def test_beats_lossless_on_noisy_floats(self):
+        arr = _signal(shape=(64, 2000))
+        q = len(QuantizeCodec(1e-2).encode(arr))
+        ll = len(TransposeZlibCodec().encode(arr))
+        assert q < ll
+
+
+class TestFileIntegration:
+    @pytest.mark.parametrize(
+        "spec", ["delta-zlib", "transpose-zlib", "quantize:0.001"]
+    )
+    def test_roundtrip_through_file(self, tmpfile, spec):
+        data = _signal()
+        with File(tmpfile, "w") as f:
+            f.create_dataset("d", data=data, chunks=(8, 128), codec=spec)
+        with File(tmpfile, "r") as f:
+            ds = f.dataset("d")
+            assert ds.attrs[CODEC_ATTR] == resolve_codec(spec).spec
+            out = ds.read()
+            if resolve_codec(spec).lossless:
+                np.testing.assert_array_equal(out, data)
+            else:
+                assert np.max(np.abs(out - data)) <= 0.001
+            # Partial and strided reads decode only what they need but
+            # agree with the full read.
+            np.testing.assert_array_equal(
+                ds[3:11, 50:250:3], out[3:11, 50:250:3]
+            )
+
+    def test_codec_requires_chunked_layout(self, tmpfile):
+        with File(tmpfile, "w") as f:
+            with pytest.raises(FormatError, match="chunked"):
+                f.create_dataset("d", data=_signal(), codec="delta-zlib")
+            with pytest.raises(FormatError, match="chunked"):
+                f.create_dataset(
+                    "v", shape=(4, 4), virtual_sources=[], codec="delta-zlib"
+                )
+
+    def test_uncompressed_files_unaffected(self, tmpfile):
+        data = _signal()
+        with File(tmpfile, "w") as f:
+            f.create_dataset("d", data=data, chunks=(8, 128))
+        with File(tmpfile, "r") as f:
+            ds = f.dataset("d")
+            assert ds.codec is None
+            assert CODEC_ATTR not in ds.attrs
+            np.testing.assert_array_equal(ds.read(), data)
+
+    def test_stored_bytes_shrink(self, tmpfile, tmp_path):
+        data = _signal(shape=(64, 2000))
+        raw = str(tmp_path / "raw.h5")
+        with File(raw, "w") as f:
+            f.create_dataset("d", data=data, chunks=(64, 512))
+        with File(tmpfile, "w") as f:
+            f.create_dataset(
+                "d", data=data, chunks=(64, 512), codec="transpose-zlib"
+            )
+        import os
+
+        assert os.path.getsize(tmpfile) < os.path.getsize(raw)
+
+    def test_unknown_codec_fails_at_read_not_open(self, tmpfile):
+        data = _signal()
+        with File(tmpfile, "w") as f:
+            ds = f.create_dataset("d", data=data, chunks=(8, 128))
+            ds.attrs[CODEC_ATTR] = "from-the-future"
+        with File(tmpfile, "r") as f:
+            ds = f.dataset("d")  # open + metadata access are fine
+            assert ds.shape == data.shape
+            with pytest.raises(FormatError, match="unknown codec"):
+                ds.read()
+
+    def test_write_hyperslab_into_compressed_chunks(self, tmpfile):
+        data = _signal()
+        with File(tmpfile, "w") as f:
+            f.create_dataset("d", data=data, chunks=(8, 128), codec="delta-zlib")
+        with File(tmpfile, "r+") as f:
+            ds = f.dataset("d")
+            ds[4:12, 100:200] = 0.25
+            ds[0, ::7] = -1.0
+        expected = data.copy()
+        expected[4:12, 100:200] = 0.25
+        expected[0, ::7] = -1.0
+        with File(tmpfile, "r") as f:
+            np.testing.assert_array_equal(f.dataset("d").read(), expected)
+
+    def test_write_that_grows_chunk_repoints_index(self, tmpfile):
+        # Constant data encodes tiny; random data won't fit the old slot,
+        # forcing the append-and-repoint path.
+        data = np.zeros((8, 256), dtype=np.float32)
+        with File(tmpfile, "w") as f:
+            f.create_dataset("d", data=data, chunks=(8, 128), codec="delta-zlib")
+        noise = np.random.default_rng(1).normal(size=(8, 128)).astype(np.float32)
+        with File(tmpfile, "r+") as f:
+            ds = f.dataset("d")
+            old_offsets = dict(ds._meta["chunk_index"])
+            ds[:, 0:128] = noise
+            assert ds._meta["chunk_index"]["0,0"] != old_offsets["0,0"]
+            assert ds._meta["chunk_index"]["0,1"] == old_offsets["0,1"]
+        expected = data.copy()
+        expected[:, 0:128] = noise
+        with File(tmpfile, "r") as f:
+            np.testing.assert_array_equal(f.dataset("d").read(), expected)
+            assert verify(f) == []
+
+    def test_cache_admits_decoded_chunks_once(self, tmpfile):
+        data = _signal(shape=(16, 512))
+        with File(tmpfile, "w") as f:
+            f.create_dataset(
+                "d", data=data, chunks=(16, 128), codec="transpose-zlib"
+            )
+        stats = IOStats()
+        cache = BlockCache(CacheConfig(byte_budget=1 << 22))
+        with File(tmpfile, "r", iostats=stats, cache=cache) as f:
+            ds = f.dataset("d")
+            np.testing.assert_array_equal(ds.read(), data)
+            cold_reads = stats.reads
+            cold_bytes = stats.bytes_read
+            np.testing.assert_array_equal(ds.read(), data)
+            # Warm pass: every chunk decoded already, zero backend I/O.
+            assert stats.reads == cold_reads
+            assert stats.bytes_read == cold_bytes
+        # The cold pass read the *encoded* bytes, strictly less than raw.
+        assert cold_bytes < data.nbytes
+
+    def test_inspect_describe_and_verify(self, tmpfile):
+        data = _signal()
+        with File(tmpfile, "w") as f:
+            f.create_dataset(
+                "d", data=data, chunks=(8, 128), codec="quantize:0.001",
+                checksum=True,
+            )
+        with File(tmpfile, "r") as f:
+            text = describe(f)
+            assert "codec=quantize:0.001" in text and "(lossy)" in text
+            assert verify(f) == []
+
+    def test_verify_flags_missing_enc_sizes(self, tmpfile):
+        data = _signal()
+        with File(tmpfile, "w") as f:
+            ds = f.create_dataset("d", data=data, chunks=(8, 128))
+            ds.attrs[CODEC_ATTR] = "delta-zlib"
+        with File(tmpfile, "r") as f:
+            problems = [p.message for p in verify(f)]
+            assert any("chunk_enc" in m for m in problems)

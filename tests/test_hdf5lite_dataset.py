@@ -155,11 +155,16 @@ class TestChunked:
             with pytest.raises(FormatError):
                 f.create_dataset("d", data=np.zeros((4, 4)), chunks=(2,))
 
-    def test_chunked_rejects_writes(self, tmpfile):
+    def test_chunked_accepts_writes(self, tmpfile):
         with File(tmpfile, "w") as f:
             ds = f.create_dataset("d", data=np.zeros((4, 4)), chunks=(2, 2))
-            with pytest.raises(FormatError):
-                ds[0] = 1.0
+            ds[0] = 1.0
+            ds[1:3, ::2] = 2.0
+        expected = np.zeros((4, 4))
+        expected[0] = 1.0
+        expected[1:3, ::2] = 2.0
+        with File(tmpfile, "r") as f:
+            np.testing.assert_array_equal(f.dataset("d").read(), expected)
 
     def test_read_touches_only_needed_chunks(self, tmpfile):
         data = np.arange(16 * 16, dtype=np.float64).reshape(16, 16)

@@ -459,6 +459,42 @@ class TestMetrics:
         snap = stats.snapshot()
         assert snap["count"] == 100 and snap["max_s"] == pytest.approx(1.0)
 
+    def test_snapshot_consistent_under_concurrent_appends(self):
+        # snapshot() must copy the reservoir once and derive p50/p95/max
+        # from that one frozen copy — the service thread appends while
+        # the CLI snapshots, and the stats must stay internally ordered.
+        import threading
+
+        stats = LatencyStats(cap=256)
+        stop = threading.Event()
+
+        def writer():
+            v = 0
+            while not stop.is_set():
+                v += 1
+                stats.record((v % 97) / 97.0)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        try:
+            for _ in range(300):
+                snap = stats.snapshot()
+                if snap["count"] == 0:
+                    continue
+                assert snap["p50_s"] <= snap["p95_s"] <= snap["max_s"]
+        finally:
+            stop.set()
+            t.join()
+
+    def test_snapshot_matches_percentile_on_static_reservoir(self):
+        stats = LatencyStats()
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            stats.record(v)
+        snap = stats.snapshot()
+        assert snap["p50_s"] == stats.percentile(50)
+        assert snap["p95_s"] == stats.percentile(95)
+        assert snap["max_s"] == 5.0
+
     def test_snapshot_is_json_safe(self):
         metrics = RTMetrics()
         metrics.stage("read").record(0.01)

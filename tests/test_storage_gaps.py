@@ -1,0 +1,120 @@
+"""GapMap coalescing: the bridging-span regression and its invariant.
+
+`GapMap.add` must coalesce *transitively*: a span that bridges two held
+spans of the same (source, reason) collapses all three into one record.
+The historical bug merged with only the first overlapping span, leaving
+``record(0,10); record(20,30); record(10,20)`` as two touching spans.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.gaps import GapMap, GapSpan
+
+
+def _spans_clash(a: GapSpan, b: GapSpan) -> bool:
+    """True when two spans of the same (source, reason) overlap or touch."""
+    return (
+        a.source == b.source
+        and a.reason == b.reason
+        and a.t0 <= b.t1
+        and b.t0 <= a.t1
+    )
+
+
+class TestBridgingSpan:
+    def test_bridging_span_coalesces_all_three(self):
+        gm = GapMap()
+        gm.record("f", 0, 10, "io")
+        gm.record("f", 20, 30, "io")
+        gm.record("f", 10, 20, "io")
+        assert [(s.t0, s.t1) for s in gm] == [(0, 30)]
+
+    def test_bridge_keeps_max_attempts(self):
+        gm = GapMap()
+        gm.record("f", 0, 10, "io", attempts=1)
+        gm.record("f", 20, 30, "io", attempts=3)
+        gm.record("f", 10, 20, "io", attempts=2)
+        (span,) = list(gm)
+        assert span.attempts == 3
+
+    def test_bridge_spanning_many(self):
+        gm = GapMap()
+        for k in range(5):
+            gm.record("f", 10 * k, 10 * k + 4, "io")
+        assert len(gm) == 5
+        gm.record("f", 0, 100, "io")
+        assert [(s.t0, s.t1) for s in gm] == [(0, 100)]
+
+    def test_distinct_reason_or_source_stays_separate(self):
+        gm = GapMap()
+        gm.record("f", 0, 10, "io")
+        gm.record("f", 20, 30, "crc")
+        gm.record("g", 10, 20, "io")
+        gm.record("f", 10, 20, "io")
+        assert sorted((s.source, s.reason, s.t0, s.t1) for s in gm) == [
+            ("f", "crc", 20, 30),
+            ("f", "io", 0, 20),
+            ("g", "io", 10, 20),
+        ]
+
+    def test_widened_inherits_coalescing(self):
+        gm = GapMap()
+        gm.record("f", 0, 10, "io")
+        gm.record("f", 14, 20, "io")
+        # A pad of 2 makes the padded spans touch: one record after widen.
+        wide = gm.widened(2)
+        assert [(s.t0, s.t1) for s in wide] == [(0, 22)]
+
+
+@st.composite
+def _span_batches(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    batches = []
+    for _ in range(n):
+        t0 = draw(st.integers(min_value=0, max_value=200))
+        length = draw(st.integers(min_value=0, max_value=60))
+        batches.append(
+            (
+                draw(st.sampled_from(["a", "b"])),
+                t0,
+                t0 + length,
+                draw(st.sampled_from(["io", "crc"])),
+                draw(st.integers(min_value=1, max_value=4)),
+            )
+        )
+    return batches
+
+
+class TestCoalescingInvariant:
+    @settings(max_examples=200, deadline=None)
+    @given(_span_batches())
+    def test_no_two_spans_overlap_or_touch(self, batches):
+        gm = GapMap()
+        for source, t0, t1, reason, attempts in batches:
+            gm.record(source, t0, t1, reason, attempts=attempts)
+        spans = list(gm)
+        for i, a in enumerate(spans):
+            for b in spans[i + 1 :]:
+                assert not _spans_clash(a, b), (a, b)
+        # Coverage is preserved: every recorded sample is inside some span
+        # of its (source, reason).
+        for source, t0, t1, reason, _ in batches:
+            for t in (t0, max(t0, t1 - 1)):
+                if t1 > t0:
+                    assert any(
+                        s.source == source
+                        and s.reason == reason
+                        and s.t0 <= t < s.t1
+                        for s in spans
+                    )
+
+    @settings(max_examples=100, deadline=None)
+    @given(_span_batches())
+    def test_total_samples_matches_union(self, batches):
+        gm = GapMap()
+        covered = set()
+        for source, t0, t1, reason, attempts in batches:
+            gm.record(source, t0, t1, reason, attempts=attempts)
+            covered.update(range(t0, t1))
+        assert gm.total_samples == len(covered)
