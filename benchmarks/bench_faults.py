@@ -102,6 +102,7 @@ def timed_cached_passes(vca_path: str, repeats: int) -> dict:
     return {
         "cold_s": cold,
         "warm_median_s": statistics.median(warm),
+        "warm_min_s": min(warm),
         "warm_s": warm,
         "checksum_of_sum": float(np.float64(arr.sum())),
     }
@@ -115,11 +116,14 @@ def measure_checksum_overhead(n_files, channels, spm, repeats) -> dict:
         crc_vca, _, _ = build_dataset(crc_root, n_files, channels, spm, True)
         checked = timed_cached_passes(crc_vca, repeats)
     assert checked["checksum_of_sum"] == plain["checksum_of_sum"]
-    overhead = checked["warm_median_s"] / plain["warm_median_s"] - 1.0
+    # Best-of-N: the warm passes are ~2 ms, so medians pick up scheduler
+    # noise from whatever else CI just ran; the minimum is the intrinsic
+    # cost of each path.
+    overhead = checked["warm_min_s"] / plain["warm_min_s"] - 1.0
     # The acceptance bar: verify-at-admission keeps the warm path free.
     assert overhead < 0.10, (
         f"checksum overhead {overhead:.1%} on the cached read path "
-        f"(off {plain['warm_median_s']:.6f}s, on {checked['warm_median_s']:.6f}s)"
+        f"(off {plain['warm_min_s']:.6f}s, on {checked['warm_min_s']:.6f}s)"
     )
     return {
         "checksum_off": plain,

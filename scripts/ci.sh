@@ -15,9 +15,13 @@
 # spans (BENCH_faults.json).  The compress smoke run asserts the lossless
 # codec roundtrip through storage is bit-identical and that compressed
 # source files move strictly fewer backend bytes than raw on a full VCA
-# read (BENCH_compress.json); repro.checks rejects new lock-discipline,
-# exception-taxonomy, operator-contract, and public-API findings not in
-# scripts/checks_baseline.json.
+# read (BENCH_compress.json).  The planner smoke run asserts pushdown
+# plans read strictly fewer backend bytes than their eager reference
+# with bit-identical output, and that a shared-prefix two-detector
+# co-run beats two single-detector runs in wall time and bytes read
+# (BENCH_planner.json).  repro.checks rejects new lock-discipline,
+# exception-taxonomy, operator-contract, planner-geometry, and
+# public-API findings not in scripts/checks_baseline.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,3 +34,4 @@ python benchmarks/bench_pipeline.py --smoke
 python benchmarks/bench_rt_service.py --smoke
 python benchmarks/bench_faults.py --smoke
 python benchmarks/bench_compress.py --smoke
+python benchmarks/bench_planner.py --smoke

@@ -56,7 +56,7 @@ def register(cls: type[Analyzer]) -> type[Analyzer]:
 def all_analyzers() -> list[Analyzer]:
     """One instance of every registered analyzer (built-ins included)."""
     # Importing the built-in analyzer modules triggers their @register.
-    from repro.checks import api, contracts, locks, taxonomy  # noqa - imported for side effect
+    from repro.checks import api, contracts, locks, pln, taxonomy  # noqa - imported for side effect
 
-    _ = (api, contracts, locks, taxonomy)
+    _ = (api, contracts, locks, pln, taxonomy)
     return [cls() for _, cls in sorted(_REGISTRY.items())]

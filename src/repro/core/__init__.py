@@ -17,7 +17,7 @@
 """
 
 from repro.core.detection import DetectedEvent, detect_events
-from repro.core.framework import DASSA
+from repro.core.framework import DASSA, AnalysisPlan
 from repro.core.interferometry import (
     InterferometryConfig,
     interferometry_block,
@@ -69,11 +69,34 @@ from repro.core.stalta import (
     streamed_sta_lta,
     trigger_onset,
 )
-from repro.core.planner import PlanOption, best_plan, plan
+from repro.core.graph import (
+    ChannelSelectOp,
+    CoordFrame,
+    Query,
+    SubsampleOp,
+    verify_geometry,
+)
+from repro.core.optimizer import (
+    FusedOp,
+    PhysicalPlan,
+    execute,
+    explain,
+    fuse_operators,
+    optimize,
+    plan_incremental,
+)
+from repro.core.planner import (
+    PlanOption,
+    StreamTuning,
+    best_plan,
+    plan,
+    tune_stream,
+)
 from repro.core.velocity import VelocityFit, fit_moveout, pick_arrivals
 
 __all__ = [
     "DASSA",
+    "AnalysisPlan",
     "LocalSimilarityConfig",
     "LocalSimilarityOp",
     "local_similarity_block",
@@ -105,6 +128,21 @@ __all__ = [
     "plan",
     "best_plan",
     "PlanOption",
+    "tune_stream",
+    "StreamTuning",
+    # lazy query layer
+    "Query",
+    "CoordFrame",
+    "ChannelSelectOp",
+    "SubsampleOp",
+    "verify_geometry",
+    "FusedOp",
+    "fuse_operators",
+    "PhysicalPlan",
+    "optimize",
+    "execute",
+    "explain",
+    "plan_incremental",
     # streaming execution core
     "Stage",
     "Pipeline",

@@ -31,6 +31,11 @@ from repro.core.local_similarity import (
     LocalSimilarityConfig,
     streamed_local_similarity,
 )
+from repro.core.graph import CoordFrame, Query
+from repro.core.optimizer import PhysicalPlan
+from repro.core.optimizer import execute as execute_plan
+from repro.core.optimizer import explain as explain_plan
+from repro.core.optimizer import optimize
 from repro.core.pipeline import PipelineProfile, PipelineResult
 from repro.core.stalta import streamed_sta_lta
 from repro.errors import ConfigError, StorageError
@@ -113,6 +118,10 @@ class DASSA:
         )
         self.last_profile: PipelineProfile | None = None
         self.last_gaps: GapMap | None = None
+        #: Coordinate frame of the most recent planned run: maps output
+        #: rows/columns back to raw channels/samples when the optimizer
+        #: pushed a channel selection or decimation into the source.
+        self.last_frame: CoordFrame | None = None
         self._tmpdir: tempfile.TemporaryDirectory | None = None
 
     # -- storage side --------------------------------------------------------------
@@ -368,6 +377,38 @@ class DASSA:
             config = InterferometryConfig(fs=fs if fs > 0 else 500.0)
         return noise_correlation_functions(data, config, max_lag_seconds)
 
+    # -- lazy planned analysis -----------------------------------------------------
+    def plan(
+        self,
+        source: str | np.ndarray | VCAHandle | ChunkSource,
+        channels: tuple[int, int] | None = None,
+        decimate: int = 1,
+        tune: bool = False,
+    ) -> "AnalysisPlan":
+        """Start a lazy analysis plan over ``source``.
+
+        ``channels=(lo, hi)`` keeps that channel range and ``decimate=q``
+        keeps every ``q``-th raw sample (exact pointwise selection);
+        the optimizer pushes both into the storage read, so a
+        ``decimate=8`` plan moves roughly 1/8 of the bytes.  Add analysis
+        branches (:meth:`AnalysisPlan.local_similarity`,
+        :meth:`~AnalysisPlan.interferometry`,
+        :meth:`~AnalysisPlan.sta_lta`, :meth:`~AnalysisPlan.stack`) and
+        call :meth:`AnalysisPlan.run`; branches sharing the prefix
+        execute it once per chunk.  ``tune=True`` selects chunk size and
+        threads from the facade's cluster model when no explicit
+        ``chunk_samples`` is configured.
+        """
+        return AnalysisPlan(
+            self, source, channels=channels, decimate=decimate, tune=tune
+        )
+
+    def explain(self, plan: "AnalysisPlan | PhysicalPlan") -> str:
+        """Human-readable before/after dump of a plan's rewrites."""
+        if isinstance(plan, AnalysisPlan):
+            return plan.explain()
+        return explain_plan(plan)
+
     def close(self) -> None:
         if self._tmpdir is not None:
             self._tmpdir.cleanup()
@@ -378,3 +419,216 @@ class DASSA:
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+
+class AnalysisPlan:
+    """A lazy, multi-branch analysis over one source.
+
+    Built by :meth:`DASSA.plan`; nothing reads data until :meth:`run` (or
+    :meth:`explain`, which plans without executing the stream).  Each
+    branch method appends one analysis and returns ``self``::
+
+        out = (dassa.plan(vca, channels=(2, 10), decimate=4)
+                    .sta_lta(5, 50, label="trig")
+                    .local_similarity(cfg, label="simi")
+                    .run())
+        out["trig"], out["simi"]
+
+    All branch configurations are expressed in the *planned* stream's
+    coordinates (after the channel selection and decimation): an
+    ``InterferometryConfig.fs`` must be the decimated rate, and a
+    ``master_channel`` counts from ``channels[0]``.  Outputs are mapped
+    back to raw coordinates where the analysis defines them (window
+    centers); for everything else :attr:`DASSA.last_frame` holds the
+    translation.
+    """
+
+    def __init__(
+        self,
+        dassa: DASSA,
+        source: object,
+        channels: tuple[int, int] | None = None,
+        decimate: int = 1,
+        tune: bool = False,
+    ):
+        if decimate < 1:
+            raise ConfigError("decimate must be >= 1")
+        if channels is not None:
+            lo, hi = channels
+            if not (0 <= lo < hi):
+                raise ConfigError(f"bad channel range [{lo}, {hi})")
+        self._dassa = dassa
+        self._source = source
+        self._channels = channels
+        self._step = int(decimate)
+        self._tune = bool(tune)
+        self._branches: list[tuple[str, str, dict]] = []
+        self.plan: PhysicalPlan | None = None
+
+    # -- branches ------------------------------------------------------------------
+    def _add(self, kind: str, label: str | None, spec: dict) -> "AnalysisPlan":
+        self._branches.append((kind, label or f"{kind}_{len(self._branches)}", spec))
+        return self
+
+    def local_similarity(
+        self,
+        config: LocalSimilarityConfig | None = None,
+        label: str | None = None,
+    ) -> "AnalysisPlan":
+        """Algorithm 2; the branch yields ``(similarity_map, centers)``
+        with centers in *raw* sample coordinates."""
+        cfg = config if config is not None else LocalSimilarityConfig()
+        return self._add("local_similarity", label, {"config": cfg})
+
+    def interferometry(
+        self,
+        config: InterferometryConfig,
+        label: str | None = None,
+    ) -> "AnalysisPlan":
+        """Algorithm 3; ``config.fs`` is the planned stream's rate and
+        ``config.master_channel`` counts from the selected range."""
+        return self._add("interferometry", label, {"config": config})
+
+    def sta_lta(
+        self, nsta: int, nlta: int, label: str | None = None
+    ) -> "AnalysisPlan":
+        """Classic STA/LTA ratios per channel of the planned stream."""
+        return self._add("sta_lta", label, {"nsta": nsta, "nlta": nlta})
+
+    def stack(
+        self,
+        config: InterferometryConfig,
+        window_seconds: float,
+        overlap: float = 0.0,
+        max_lag_seconds: float | None = None,
+        method: str = "linear",
+        power: float = 2.0,
+        label: str | None = None,
+    ) -> "AnalysisPlan":
+        """Windowed NCF stacking; the branch yields ``(lags, stacked)``."""
+        return self._add(
+            "stack",
+            label,
+            {
+                "config": config,
+                "window_seconds": window_seconds,
+                "overlap": overlap,
+                "max_lag_seconds": max_lag_seconds,
+                "method": method,
+                "power": power,
+            },
+        )
+
+    # -- planning & execution ------------------------------------------------------
+    def _build_queries(self, src: ChunkSource) -> tuple[list[Query], list]:
+        from repro.core.interferometry import (
+            interferometry_operators,
+            master_spectrum,
+        )
+        from repro.core.local_similarity import LocalSimilarityOp
+        from repro.core.stacking import NCFStackSink
+        from repro.core.stalta import StaLtaOp
+
+        if not self._branches:
+            raise ConfigError("plan has no analysis branches")
+        base = Query.scan(src)
+        if self._channels is not None:
+            base = base.select_channels(*self._channels)
+        if self._step > 1:
+            base = base.decimate(self._step)
+        stream_samples = -(-src.n_samples // self._step)
+
+        queries: list[Query] = []
+        posts: list = []
+        for kind, label, spec in self._branches:
+            if kind == "local_similarity":
+                cfg = spec["config"]
+                q = base.then(LocalSimilarityOp(cfg))
+                centers = cfg.centers(stream_samples) * self._step
+                posts.append(lambda out, c=centers: (out, c))
+            elif kind == "interferometry":
+                cfg = spec["config"]
+                mc = cfg.master_channel + (
+                    self._channels[0] if self._channels is not None else 0
+                )
+                master = src.read_strided(
+                    mc, mc + 1, 0, src.n_samples, self._step
+                )
+                mfft = master_spectrum(master, cfg)
+                q = base
+                for op in interferometry_operators(cfg, master_fft=mfft):
+                    q = q.then(op)
+                posts.append(None)
+            elif kind == "sta_lta":
+                q = base.then(StaLtaOp(spec["nsta"], spec["nlta"]))
+                posts.append(None)
+            else:  # stack
+                spec = dict(spec)
+                q = base.then(
+                    NCFStackSink(
+                        spec.pop("config"),
+                        spec.pop("window_seconds"),
+                        **spec,
+                    )
+                )
+                posts.append(None)
+            queries.append(q.with_label(label))
+        return queries, posts
+
+    def _optimize(self, src: ChunkSource) -> tuple[PhysicalPlan, list]:
+        queries, posts = self._build_queries(src)
+        cfg = self._dassa.config
+        plan = optimize(
+            queries,
+            chunk_samples=cfg.chunk_samples,
+            threads=cfg.threads,
+            cluster=cfg.cluster,
+            tune=self._tune,
+        )
+        self.plan = plan
+        return plan, posts
+
+    def explain(self) -> str:
+        """Plan (without streaming the record) and render the rewrites."""
+        src, owns = self._dassa._open_source(self._source)
+        try:
+            plan, _ = self._optimize(src)
+            return explain_plan(plan)
+        finally:
+            if owns:
+                src.close()
+
+    def run(self, naive: bool = False) -> dict:
+        """Execute the optimized plan; ``naive=True`` runs the eager
+        equivalence reference instead (same outputs, bit for bit).
+        Returns ``{label: output}`` in branch order and records the run's
+        profile, gaps, and coordinate frame on the facade.
+        """
+        src, owns = self._dassa._open_source(self._source)
+        try:
+            plan, posts = self._optimize(src)
+            results = execute_plan(
+                plan,
+                source=src,
+                naive=naive,
+                policy=self._dassa.config.failure_policy,
+            )
+        finally:
+            if owns:
+                src.close()
+        self._dassa.last_profile = results[0].profile
+        gaps = GapMap()
+        source_gaps = getattr(src, "gaps", None)
+        if source_gaps:
+            gaps.merge(source_gaps)
+        for res in results:
+            if res.gaps:
+                gaps.merge(res.gaps)
+        self._dassa.last_gaps = gaps if gaps else None
+        self._dassa.last_frame = plan.frame
+        out: dict = {}
+        for (kind, label, _spec), res, post in zip(
+            self._branches, results, posts
+        ):
+            out[label] = post(res.output) if post is not None else res.output
+        return out

@@ -1,0 +1,869 @@
+"""Rule-based optimizer lowering expression graphs to physical plans.
+
+Takes one or more :class:`~repro.core.graph.Query` expressions sharing a
+scan and produces a :class:`PhysicalPlan` via four rewrites:
+
+1. **Pushdown** — a leading run of
+   :class:`~repro.core.graph.ChannelSelectOp` /
+   :class:`~repro.core.graph.SubsampleOp` is absorbed into a
+   :class:`~repro.storage.chunks.SlicedSource`, so a decimate-by-``q``
+   query issues strided backend reads (~``1/q`` of the bytes) and a
+   channel selection never reads unselected rows.
+2. **Fusion** — maximal runs of adjacent *halo-compatible* maps (same
+   rate, default interval algebra, no pre-pass) collapse into one
+   :class:`FusedOp` chain stage.
+3. **Common-subexpression sharing** — queries branching from the same
+   node execute the shared prefix once per chunk and fan its output out
+   to every branch tail.
+4. **Auto-tuning** — when no chunk size is given and a cluster model is
+   supplied, chunk/thread selection comes from
+   :func:`~repro.core.planner.tune_stream` over the declared halo
+   geometry.
+
+Equivalence contract (asserted by the test suite):
+
+* a **single-output** optimized plan is *bit-identical* to the eager
+  :class:`~repro.core.pipeline.StreamPipeline` run of the same operator
+  list (``naive=True`` executes exactly that eager form);
+* a **multi-output** plan's ``naive=True`` mode plans the same
+  union-interval chunks but re-computes the shared prefix per branch,
+  unfused and without pushdown — optimized output is bit-identical to
+  that reference by construction.  Co-run branches are *not* claimed
+  bit-identical to independent single runs: interval-sensitive kernels
+  (IIR settling, running-sum ratios) legitimately differ in final bits
+  when evaluated over the union of two branches' halos.
+
+Fusion is restricted to operators whose interval methods are the
+defaults with ``decimate == 1``: for those, composing ``in_needed`` /
+``out_full`` without internal clamping is provably identical (after the
+runner's single clamp) to per-level clamped eager execution, which is
+what makes fused output bitwise equal — and keeps
+:class:`~repro.core.pipeline.IncrementalRunner`'s open-right-edge
+planning consistent, so the RT scheduler can fuse its detector chains
+without disturbing seam equivalence.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.graph import (
+    ChannelSelectOp,
+    CoordFrame,
+    Query,
+    SubsampleOp,
+    verify_geometry,
+)
+from repro.core.pipeline import (
+    OpContext,
+    Operator,
+    PipelineProfile,
+    PipelineResult,
+    SinkOp,
+    StreamPipeline,
+    _ceil_div,
+    _clamp,
+)
+from repro.errors import ConfigError
+from repro.faults.policy import FailurePolicy
+from repro.storage.chunks import (
+    SlicedSource,
+    as_source,
+    auto_chunk_samples,
+    iter_intervals,
+)
+from repro.utils.iostats import IOStats
+from repro.utils.timer import Timer
+
+__all__ = [
+    "BranchPlan",
+    "FusedOp",
+    "LogicalChain",
+    "PhysicalPlan",
+    "execute",
+    "explain",
+    "fuse_operators",
+    "optimize",
+    "plan_incremental",
+]
+
+
+# ---------------------------------------------------------------------------
+# operator fusion
+# ---------------------------------------------------------------------------
+
+
+def _fusable(op: Operator) -> bool:
+    """Halo-compatible: fusing must be provably bit-exact *and* planning-
+    transparent, so only same-rate maps with the default interval algebra
+    and no whole-record pre-pass qualify."""
+    t = type(op)
+    return (
+        isinstance(op, Operator)
+        and op.decimate == 1
+        and not op.needs_prepass
+        and t.out_total is Operator.out_total
+        and t.out_fs is Operator.out_fs
+        and t.out_channels is Operator.out_channels
+        and t.in_rows is Operator.in_rows
+        and t.out_core is Operator.out_core
+        and t.out_full is Operator.out_full
+        and t.in_needed is Operator.in_needed
+    )
+
+
+class FusedOp(Operator):
+    """Adjacent halo-compatible maps executed as one chain stage.
+
+    Declares the summed halo ``(sum L, sum R)`` and channel halo; because
+    every member keeps the default interval algebra at ``decimate == 1``,
+    the composed stage's default declarations reproduce the per-member
+    composition exactly, and running the members back-to-back on the
+    padded block equals eager per-level execution bit for bit (each
+    member sees the same absolute interval it would have seen unfused).
+    """
+
+    def __init__(self, members: Sequence[Operator]):
+        members = list(members)
+        if len(members) < 2:
+            raise ConfigError("fusion needs at least two operators")
+        for m in members:
+            if not _fusable(m):
+                raise ConfigError(f"operator {m.name!r} is not fusable")
+        self.members = members
+        self.name = "fused(" + "+".join(m.name for m in members) + ")"
+        self.halo = (
+            sum(m.halo[0] for m in members),
+            sum(m.halo[1] for m in members),
+        )
+        self.channel_halo = sum(m.channel_halo for m in members)
+        self.stream_safe = all(m.stream_safe for m in members)
+
+    def bind(self, n_channels: int, total_in: int, fs_in: float) -> list:
+        states = []
+        ch, tot, fs = n_channels, total_in, fs_in
+        for m in self.members:
+            states.append(m.bind(ch, tot, fs))
+            ch = m.out_channels(ch)
+            tot = m.out_total(tot)
+            fs = m.out_fs(fs)
+        return states
+
+    def apply(self, data: np.ndarray, ctx: OpContext) -> np.ndarray:
+        cur = data
+        # ctx.total is only folded through each member's out_total so
+        # every member sees its own level geometry; stream-safety is
+        # inherited from the members.
+        tot, fs = ctx.total, ctx.fs  # noqa: OPC001 - per-level geometry fold
+        for m, state in zip(self.members, ctx.state):
+            mctx = OpContext(
+                start=ctx.start,
+                stop=ctx.stop,
+                total=tot,
+                fs=fs,
+                channel_lo=ctx.channel_lo,
+                state=state,
+                interpreted=ctx.interpreted,
+            )
+            cur = m.apply(cur, mctx)
+            tot = m.out_total(tot)
+            fs = m.out_fs(fs)
+        return cur
+
+
+def fuse_operators(operators: Iterable[Operator]) -> list:
+    """Replace maximal runs (length >= 2) of fusable adjacent maps with a
+    :class:`FusedOp`; everything else passes through unchanged."""
+    out: list = []
+    run: list = []
+
+    def flush() -> None:
+        if len(run) >= 2:
+            out.append(FusedOp(list(run)))
+        else:
+            out.extend(run)
+        run.clear()
+
+    for op in operators:
+        if isinstance(op, Operator) and not isinstance(op, SinkOp) and _fusable(op):
+            run.append(op)
+        else:
+            flush()
+            out.append(op)
+    flush()
+    return out
+
+
+def plan_incremental(operators: Sequence[Operator]) -> list:
+    """Optimize an eager map chain for incremental (RT) execution.
+
+    Currently fusion only — pushdown/CSE need a planned batch source.
+    Fused chains keep :class:`~repro.core.pipeline.IncrementalRunner`'s
+    open-right-edge planning and therefore seam equivalence.
+    """
+    return fuse_operators(list(operators))
+
+
+# ---------------------------------------------------------------------------
+# plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LogicalChain:
+    """One query's eager operator chain (the 'before' of the rewrite)."""
+
+    label: str
+    maps: list
+    sink: SinkOp | None
+    post: list
+
+    def op_names(self) -> list[str]:
+        ops = list(self.maps) + ([self.sink] if self.sink else []) + self.post
+        return [op.name for op in ops]
+
+
+@dataclass
+class BranchPlan:
+    """One branch's optimized tail (after the shared prefix)."""
+
+    label: str
+    maps: list
+    sink: SinkOp | None
+    post: list
+
+
+@dataclass
+class PhysicalPlan:
+    """An optimized, executable plan for one or more queries.
+
+    ``chains`` keeps the eager form (``naive=True`` runs it verbatim);
+    ``select``/``step``/``prefix``/``branches`` are the rewritten form.
+    ``shared_len`` counts the *logical* shared map prefix (including the
+    ``pushed_ops`` absorbed into the source).
+    """
+
+    source: Any
+    fs: float | None
+    chains: list[LogicalChain]
+    shared_len: int
+    pushed_ops: int
+    select: tuple[int, int] | None
+    step: int
+    prefix: list
+    branches: list[BranchPlan]
+    chunk_samples: int | None
+    threads: int
+    cluster: Any = None
+    tune: bool = False
+    verify: bool = True
+    frame: CoordFrame = field(default_factory=CoordFrame)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def pushed(self) -> bool:
+        return self.select is not None or self.step > 1
+
+    def note(self, message: str) -> None:
+        if message not in self.notes:
+            self.notes.append(message)
+
+
+# ---------------------------------------------------------------------------
+# the optimizer
+# ---------------------------------------------------------------------------
+
+
+def optimize(
+    queries: Query | Sequence[Query],
+    chunk_samples: int | None = None,
+    threads: int = 1,
+    cluster: Any = None,
+    tune: bool = False,
+    pushdown: bool = True,
+    fuse: bool = True,
+    verify: bool = True,
+) -> PhysicalPlan:
+    """Lower one or more queries sharing a scan into a physical plan."""
+    if isinstance(queries, Query):
+        queries = [queries]
+    queries = list(queries)
+    if not queries:
+        raise ConfigError("optimize needs at least one query")
+    if threads < 1:
+        raise ConfigError("threads must be >= 1")
+
+    chains: list[LogicalChain] = []
+    id_lists: list[list[int]] = []
+    root = None
+    for i, q in enumerate(queries):
+        if not isinstance(q, Query):
+            raise ConfigError(f"not a query: {q!r}")
+        nodes = q.chain()
+        if root is None:
+            root = nodes[0]
+        elif nodes[0] is not root:
+            raise ConfigError(
+                "all queries in one plan must branch from the same scan"
+            )
+        maps: list = []
+        map_ids: list[int] = []
+        sink: SinkOp | None = None
+        post: list = []
+        for n in nodes[1:]:
+            if n.kind == "map":
+                maps.append(n.op)
+                map_ids.append(n.id)
+            elif n.kind == "sink":
+                sink = n.op
+            else:
+                post.append(n.op)
+        chains.append(
+            LogicalChain(label=q.label or f"q{i}", maps=maps, sink=sink, post=post)
+        )
+        id_lists.append(map_ids)
+    labels = [c.label for c in chains]
+    if len(set(labels)) != len(labels):
+        for i, c in enumerate(chains):
+            c.label = f"{c.label}#{i}"
+
+    # Shared logical prefix, by node identity (single query: all maps).
+    if len(chains) == 1:
+        shared_len = len(id_lists[0])
+    else:
+        shared_len = 0
+        limit = min(len(ids) for ids in id_lists)
+        while shared_len < limit and all(
+            ids[shared_len] == id_lists[0][shared_len] for ids in id_lists
+        ):
+            shared_len += 1
+
+    notes: list[str] = []
+
+    # Rule 1: pushdown of a leading selection/subsample run.
+    select: tuple[int, int] | None = None
+    step = 1
+    n_push = 0
+    if pushdown:
+        for op in chains[0].maps[:shared_len]:
+            if isinstance(op, ChannelSelectOp):
+                base = 0 if select is None else select[0]
+                width = None if select is None else select[1] - select[0]
+                if width is not None and op.hi > width:
+                    break  # invalid composition; let the eager run raise
+                select = (base + op.lo, base + op.hi)
+                n_push += 1
+            elif isinstance(op, SubsampleOp):
+                step *= op.step
+                n_push += 1
+            else:
+                break
+    if n_push:
+        lo, hi = select if select is not None else (0, -1)
+        what = []
+        if select is not None:
+            what.append(f"channels[{lo}:{hi}]")
+        if step > 1:
+            what.append(f"1-in-{step} samples")
+        notes.append(
+            f"pushdown: {' + '.join(what)} lowered into a strided source "
+            f"read ({n_push} op{'s' if n_push > 1 else ''} absorbed)"
+        )
+
+    shared_rest = chains[0].maps[n_push:shared_len]
+
+    # Rules 2+3: fuse, and split shared prefix from branch tails.
+    def _maybe_fuse(ops: list) -> list:
+        return fuse_operators(ops) if fuse else list(ops)
+
+    if len(chains) > 1:
+        prefix = _maybe_fuse(shared_rest)
+        branches = [
+            BranchPlan(
+                label=c.label,
+                maps=_maybe_fuse(c.maps[shared_len:]),
+                sink=c.sink,
+                post=list(c.post),
+            )
+            for c in chains
+        ]
+        if shared_len > n_push or n_push:
+            notes.append(
+                f"cse: {shared_len}-op shared prefix computed once per "
+                f"chunk for {len(chains)} branches"
+            )
+    else:
+        prefix = []
+        c = chains[0]
+        branches = [
+            BranchPlan(
+                label=c.label,
+                maps=_maybe_fuse(c.maps[n_push:]),
+                sink=c.sink,
+                post=list(c.post),
+            )
+        ]
+    for op in list(prefix) + [op for b in branches for op in b.maps]:
+        if isinstance(op, FusedOp):
+            notes.append(f"fuse: {op.name} runs as one chain stage")
+
+    payload = root.payload
+    return PhysicalPlan(
+        source=payload.get("source"),
+        fs=payload.get("fs"),
+        chains=chains,
+        shared_len=shared_len,
+        pushed_ops=n_push,
+        select=select,
+        step=step,
+        prefix=prefix,
+        branches=branches,
+        chunk_samples=chunk_samples,
+        threads=int(threads),
+        cluster=cluster,
+        tune=tune,
+        verify=verify,
+        frame=CoordFrame(
+            channel_lo=select[0] if select is not None else 0,
+            channel_hi=select[1] if select is not None else None,
+            sample_step=step,
+        ),
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+
+def _composed_halo(maps: Sequence[Operator]) -> tuple[int, int]:
+    """Composed (left, right) input-halo of a map chain, from probing the
+    unclamped ``in_needed`` composition of one output sample."""
+    lo, hi = 0, 1
+    for op in reversed(list(maps)):
+        lo, hi = op.in_needed(lo, hi)
+    return max(0, -lo), max(0, hi - 1)
+
+
+def _verify_plan(plan: PhysicalPlan, src) -> None:
+    for chain in plan.chains:
+        total = src.n_samples
+        for op in chain.maps:
+            if total < 1:
+                raise ConfigError(
+                    f"record exhausted before operator {op.name!r} "
+                    f"(branch {chain.label!r})"
+                )
+            verify_geometry(op, total)
+            total = op.out_total(total)
+
+
+def _resolve_execution(plan: PhysicalPlan, src) -> tuple[int, int]:
+    """The raw-level chunk size and thread count this run will use."""
+    chunk = plan.chunk_samples
+    threads = plan.threads
+    if chunk is None:
+        if plan.tune and plan.cluster is not None:
+            from repro.core.planner import tune_stream
+
+            halo = _composed_halo(plan.chains[0].maps)
+            tuning = tune_stream(
+                plan.cluster, src.n_channels, src.n_samples, halo=halo
+            )
+            chunk, threads = tuning.chunk_samples, tuning.threads
+            plan.note(
+                f"tuned: chunk={chunk} threads={threads} "
+                f"(est {tuning.est_seconds:.3g}s, halo={halo})"
+            )
+        else:
+            chunk = auto_chunk_samples(src.n_channels, src.n_samples)
+    chunk = int(chunk)
+    if chunk < 1:
+        raise ConfigError("chunk_samples must be >= 1")
+    if plan.step > 1:
+        # Raw chunks must align on the subsample lattice so optimized and
+        # eager runs tile identical core targets.
+        chunk = _ceil_div(chunk, plan.step) * plan.step
+    return chunk, threads
+
+
+def execute(
+    plan: PhysicalPlan,
+    source: object = None,
+    naive: bool = False,
+    timer: Timer | None = None,
+    iostats: IOStats | None = None,
+    policy: FailurePolicy | None = None,
+) -> list[PipelineResult]:
+    """Run a physical plan; returns one result per branch (query order).
+
+    ``naive=True`` executes the equivalence reference instead: the eager
+    un-rewritten form (single output), or the union-interval plan with
+    per-branch prefix recomputation (multi output).  ``source`` overrides
+    the plan's scan payload (e.g. an already-open source).
+    """
+    spec = source if source is not None else plan.source
+    if spec is None:
+        raise ConfigError("plan has no source: pass one to execute()")
+    src = as_source(spec, fs=plan.fs)
+    close_after = not isinstance(spec, type(src)) and isinstance(
+        spec, (str, os.PathLike)
+    )
+    try:
+        if plan.verify:
+            _verify_plan(plan, src)
+        timer = timer if timer is not None else Timer()
+        chunk, threads = _resolve_execution(plan, src)
+        if len(plan.chains) == 1:
+            return [
+                _execute_single(
+                    plan, src, chunk, threads, naive, timer, iostats, policy
+                )
+            ]
+        if policy is not None:
+            raise ConfigError(
+                "failure policies are not supported for multi-output plans"
+            )
+        return _execute_multi(plan, src, chunk, naive, timer, iostats)
+    finally:
+        if close_after:
+            src.close()
+
+
+def _wrap_pushdown(plan: PhysicalPlan, src, chunk: int):
+    """The optimized run's source and chunk at that source's level."""
+    if not plan.pushed:
+        return src, chunk
+    lo, hi = plan.select if plan.select is not None else (0, src.n_channels)
+    return (
+        SlicedSource(src, lo, hi, plan.step),
+        max(1, chunk // plan.step),
+    )
+
+
+def _execute_single(
+    plan: PhysicalPlan,
+    src,
+    chunk: int,
+    threads: int,
+    naive: bool,
+    timer: Timer,
+    iostats: IOStats | None,
+    policy: FailurePolicy | None,
+) -> PipelineResult:
+    chain = plan.chains[0]
+    if naive:
+        ops = list(chain.maps)
+        if chain.sink is not None:
+            ops.append(chain.sink)
+        ops.extend(chain.post)
+        pipe = StreamPipeline(ops)
+        return pipe.run(
+            src,
+            chunk_samples=chunk,
+            threads=threads,
+            timer=timer,
+            iostats=iostats,
+            policy=policy,
+        )
+    branch = plan.branches[0]
+    ops = list(plan.prefix) + list(branch.maps)
+    if branch.sink is not None:
+        ops.append(branch.sink)
+    ops.extend(branch.post)
+    run_src, run_chunk = _wrap_pushdown(plan, src, chunk)
+    pipe = StreamPipeline(ops)
+    return pipe.run(
+        run_src,
+        chunk_samples=run_chunk,
+        threads=threads,
+        timer=timer,
+        iostats=iostats,
+        policy=policy,
+    )
+
+
+def _execute_multi(
+    plan: PhysicalPlan,
+    src,
+    chunk: int,
+    naive: bool,
+    timer: Timer,
+    iostats: IOStats | None,
+) -> list[PipelineResult]:
+    """Union-interval execution of a multi-branch plan.
+
+    Per chunk the branch targets are planned through each full chain,
+    their needs are unioned at the source and at the prefix/tail
+    boundary, the prefix runs on the union interval, and every branch
+    tail consumes its slice of the prefix output.  ``naive`` recomputes
+    the prefix per branch (identical arguments, so hoisting it — the CSE
+    rewrite — is bitwise safe) and runs the eager unfused, un-pushed
+    operator forms.
+    """
+    share = not naive
+    if naive:
+        psrc, run_chunk = src, chunk
+        prefix_maps = list(plan.chains[0].maps[: plan.shared_len])
+        tails = [
+            (c.label, list(c.maps[plan.shared_len :]), c.sink, list(c.post))
+            for c in plan.chains
+        ]
+    else:
+        psrc, run_chunk = _wrap_pushdown(plan, src, chunk)
+        prefix_maps = list(plan.prefix)
+        tails = [
+            (b.label, list(b.maps), b.sink, list(b.post))
+            for b in plan.branches
+        ]
+
+    if psrc.n_samples < 1 or psrc.n_channels < 1:
+        raise ConfigError("cannot stream an empty source")
+    run_chunk = min(max(1, run_chunk), psrc.n_samples)
+    n_chunks = _ceil_div(psrc.n_samples, run_chunk)
+    n_prefix = len(prefix_maps)
+
+    streamed_before = psrc.bytes_streamed
+    io_before = iostats.full_snapshot() if iostats is not None else None
+
+    # Levels: shared prefix, then per-branch tails from the prefix output.
+    p_tot = [psrc.n_samples]
+    p_rate = [psrc.fs]
+    p_ch = [psrc.n_channels]
+    for op in prefix_maps:
+        p_tot.append(op.out_total(p_tot[-1]))
+        p_rate.append(op.out_fs(p_rate[-1]))
+        p_ch.append(op.out_channels(p_ch[-1]))
+        if p_ch[-1] < 1:
+            raise ConfigError(
+                f"operator {op.name!r} needs more channels than available"
+            )
+    pre_sp = StreamPipeline(prefix_maps) if prefix_maps else None
+    prefix_states = [
+        op.bind(p_ch[k], p_tot[k], p_rate[k])
+        for k, op in enumerate(prefix_maps)
+    ]
+
+    branch_info = []
+    for label, maps, sink, post in tails:
+        t_tot, t_rate, t_ch = [p_tot[-1]], [p_rate[-1]], [p_ch[-1]]
+        for op in maps:
+            t_tot.append(op.out_total(t_tot[-1]))
+            t_rate.append(op.out_fs(t_rate[-1]))
+            t_ch.append(op.out_channels(t_ch[-1]))
+            if t_ch[-1] < 1:
+                raise ConfigError(
+                    f"operator {op.name!r} needs more channels than available"
+                )
+            if op.needs_prepass and n_chunks > 1:
+                raise ConfigError(
+                    f"pre-pass operator {op.name!r} must sit in the shared "
+                    "prefix of a multi-output plan"
+                )
+        branch_info.append(
+            {
+                "label": label,
+                "maps": maps,
+                "sink": sink,
+                "post": post,
+                "sp": StreamPipeline(maps) if maps else None,
+                "tot": t_tot,
+                "rate": t_rate,
+                "ch": t_ch,
+                "full_maps": prefix_maps + maps,
+                "full_tot": p_tot + t_tot[1:],
+                "states": [
+                    op.bind(t_ch[k], t_tot[k], t_rate[k])
+                    for k, op in enumerate(maps)
+                ],
+                "pieces": [],
+                "sink_state": None,
+            }
+        )
+    if n_chunks > 1 and pre_sp is not None and any(
+        op.needs_prepass for op in prefix_maps
+    ):
+        pre_sp._run_prepasses(
+            psrc, run_chunk, p_tot, p_rate, p_ch, prefix_states, timer
+        )
+    for bi in branch_info:
+        if bi["sink"] is not None:
+            bi["sink_state"] = bi["sink"].init(
+                bi["ch"][-1], bi["tot"][-1], bi["rate"][-1]
+            )
+
+    cse_hits = 0
+    for c0, c1 in iter_intervals(psrc.n_samples, run_chunk):
+        active = []
+        for bi in branch_info:
+            full_maps, full_tot = bi["full_maps"], bi["full_tot"]
+            t = (c0, c1)
+            for k, op in enumerate(full_maps):
+                t = _clamp(*op.out_core(*t), full_tot[k + 1])
+            if t[1] <= t[0]:
+                continue
+            needs = [t]
+            for k in reversed(range(len(full_maps))):
+                needs.insert(
+                    0, _clamp(*full_maps[k].in_needed(*needs[0]), full_tot[k])
+                )
+            active.append((bi, t, needs[0], needs[n_prefix]))
+        if not active:
+            continue
+        A = min(n0[0] for _, _, n0, _ in active)
+        B = max(n0[1] for _, _, n0, _ in active)
+        Ta = min(np_[0] for _, _, _, np_ in active)
+        Tb = max(np_[1] for _, _, _, np_ in active)
+        with timer.phase("read"):
+            block = psrc.read(A, B)
+
+        def run_prefix() -> np.ndarray:
+            if pre_sp is None:
+                return block[..., Ta - A : Tb - A]
+            out, _ = pre_sp._run_chain(
+                block, (A, B), (Ta, Tb), p_tot, p_rate, prefix_states,
+                0, n_prefix, timer,
+            )
+            return out
+
+        shared_out = run_prefix() if share else None
+        if share:
+            cse_hits += max(0, len(active) - 1)
+        for bi, tgt, _n0, (ta, tb) in active:
+            pre = shared_out if share else run_prefix()
+            seg = pre[..., ta - Ta : tb - Ta]
+            if bi["sp"] is not None:
+                out, _ = bi["sp"]._run_chain(
+                    seg, (ta, tb), tgt, bi["tot"], bi["rate"], bi["states"],
+                    0, len(bi["maps"]), timer,
+                )
+            else:
+                out = seg[..., tgt[0] - ta : tgt[1] - ta]
+            if bi["sink"] is not None:
+                ctx = OpContext(
+                    start=tgt[0],
+                    stop=tgt[1],
+                    total=bi["tot"][-1],
+                    fs=bi["rate"][-1],
+                    state=bi["sink_state"],
+                )
+                with timer.phase(bi["sink"].name):
+                    bi["sink"].consume(bi["sink_state"], out, ctx)
+            else:
+                bi["pieces"].append(np.ascontiguousarray(out))
+
+    output_bytes = 0
+    for bi in branch_info:
+        if bi["sink"] is not None:
+            with timer.phase(bi["sink"].name):
+                output: Any = bi["sink"].finalize(bi["sink_state"])
+            for op in bi["post"]:
+                n = output.shape[-1] if isinstance(output, np.ndarray) else 0
+                ctx = OpContext(
+                    start=0, stop=n, total=n, fs=bi["rate"][-1]
+                )
+                with timer.phase(op.name):
+                    output = op.apply(output, ctx)
+        elif bi["pieces"]:
+            output = (
+                bi["pieces"][0]
+                if len(bi["pieces"]) == 1
+                else np.concatenate(bi["pieces"], axis=-1)
+            )
+        else:
+            output = np.zeros((bi["ch"][-1], 0))
+        bi["output"] = output
+        if isinstance(output, np.ndarray):
+            output_bytes += output.nbytes
+
+    profile = PipelineProfile(
+        phases=dict(timer.phases),
+        n_chunks=n_chunks,
+        chunk_samples=run_chunk,
+        threads=1,
+        bytes_streamed=psrc.bytes_streamed - streamed_before,
+        bytes_read=(
+            iostats.full_snapshot()["bytes_read"] - io_before["bytes_read"]
+            if io_before is not None
+            else None
+        ),
+        peak_resident_bytes=0,
+        output_bytes=output_bytes,
+    )
+    profile.cse_hits = cse_hits  # plan-level extra, shared by every branch
+    return [
+        PipelineResult(output=bi["output"], profile=profile, gaps=None)
+        for bi in branch_info
+    ]
+
+
+# ---------------------------------------------------------------------------
+# explain
+# ---------------------------------------------------------------------------
+
+
+def _describe_source(source: Any) -> str:
+    if source is None:
+        return "<bound at execute>"
+    path = getattr(source, "path", None)
+    if path:
+        return os.path.basename(os.fspath(path))
+    if isinstance(source, (str, os.PathLike)):
+        return os.path.basename(os.fspath(source))
+    if isinstance(source, np.ndarray):
+        return f"array{source.shape}"
+    return type(source).__name__
+
+
+def explain(plan: PhysicalPlan) -> str:
+    """A human-readable before/after dump of the plan's rewrites."""
+    lines = [f"== logical plan ({len(plan.chains)} branch"
+             f"{'es' if len(plan.chains) > 1 else ''}) =="]
+    lines.append(f"scan {_describe_source(plan.source)}")
+    if len(plan.chains) > 1 and plan.shared_len:
+        shared = plan.chains[0].maps[: plan.shared_len]
+        lines.append("shared: " + " | ".join(op.name for op in shared))
+    for c in plan.chains:
+        ops = c.maps[plan.shared_len :] if len(plan.chains) > 1 else c.maps
+        names = [op.name for op in ops]
+        if c.sink is not None:
+            names.append(c.sink.name)
+        names.extend(op.name for op in c.post)
+        lines.append(f"branch {c.label}: " + " | ".join(names or ["<pass>"]))
+
+    lines.append("== physical plan ==")
+    if plan.pushed:
+        lo, hi = plan.select if plan.select is not None else (0, -1)
+        parts = []
+        if plan.select is not None:
+            parts.append(f"channels[{lo}:{hi}]")
+        if plan.step > 1:
+            parts.append(f"step={plan.step}")
+        lines.append(
+            f"source: SlicedSource({', '.join(parts)}) — strided backend read"
+        )
+    else:
+        lines.append("source: full-resolution scan")
+    if plan.prefix:
+        lines.append(
+            "shared prefix (once per chunk): "
+            + " | ".join(op.name for op in plan.prefix)
+        )
+    for b in plan.branches:
+        names = [op.name for op in b.maps]
+        if b.sink is not None:
+            names.append(b.sink.name)
+        names.extend(op.name for op in b.post)
+        lines.append(f"branch {b.label}: " + " | ".join(names or ["<pass>"]))
+    chunk = plan.chunk_samples if plan.chunk_samples is not None else (
+        "tuned" if plan.tune and plan.cluster is not None else "auto"
+    )
+    lines.append(f"chunking: {chunk} samples, threads={plan.threads}")
+    for note in plan.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

@@ -375,16 +375,23 @@ class StreamPipeline:
         totals: list[int],
         rates: list[float],
         states: list,
-        channel_lo: int,
+        channel_lo: int | list[int],
         upto: int,
         timer: Timer | None,
     ) -> tuple[np.ndarray, int]:
         """Run map operators ``[0, upto)`` on a padded block and trim to
         ``target``.  Returns ``(trimmed, peak_bytes)`` where ``peak_bytes``
-        is the largest in+out footprint any stage held."""
+        is the largest in+out footprint any stage held.
+
+        ``channel_lo`` is either one absolute row offset shared by every
+        level (the historical behaviour — correct while each level keeps
+        row 0 aligned) or a per-level list, needed once a channel-mapping
+        operator (e.g. a pushed-down selection) shifts row origins between
+        levels."""
         a, b = interval
         cur = block
         peak = block.nbytes
+        per_level = isinstance(channel_lo, (list, tuple))
         for k in range(upto):
             op = self.maps[k]
             ctx = OpContext(
@@ -392,7 +399,7 @@ class StreamPipeline:
                 stop=b,
                 total=totals[k],
                 fs=rates[k],
-                channel_lo=channel_lo,
+                channel_lo=channel_lo[k] if per_level else channel_lo,
                 state=states[k],
             )
             if timer is not None:
@@ -422,13 +429,14 @@ class StreamPipeline:
         chunk: int,
         totals: list[int],
         rates: list[float],
+        channels: list[int],
         states: list,
         timer: Timer,
     ) -> None:
         for j, op in enumerate(self.maps):
             if not op.needs_prepass:
                 continue
-            acc = op.prepass_init(src.n_channels, totals[j])
+            acc = op.prepass_init(channels[j], totals[j])
             with timer.phase(f"{op.name}:prepass"):
                 for c0, c1 in iter_intervals(src.n_samples, chunk):
                     targets = self._core_targets(c0, c1, totals, j)
@@ -496,7 +504,9 @@ class StreamPipeline:
             # A single whole-record chunk needs no pre-pass: every
             # operator sees ctx.whole and computes its global state in
             # place, exactly as the materialised execution does.
-            self._run_prepasses(src, chunk, totals, rates, states, timer)
+            self._run_prepasses(
+                src, chunk, totals, rates, channels, states, timer
+            )
 
         sink_state = (
             self.sink.init(channels[-1], totals[-1], rates[-1])
@@ -533,8 +543,10 @@ class StreamPipeline:
 
                 def worker(tid: int, lo: int, hi: int) -> np.ndarray:
                     rlo, rhi = lo, hi
-                    for op in reversed(self.maps):
-                        rlo, rhi = op.in_rows(rlo, rhi)
+                    offs = [0] * n_maps
+                    for k in range(n_maps - 1, -1, -1):
+                        rlo, rhi = self.maps[k].in_rows(rlo, rhi)
+                        offs[k] = rlo
                     out, peak = self._run_chain(
                         block[rlo:rhi],
                         (a, b),
@@ -542,7 +554,7 @@ class StreamPipeline:
                         totals,
                         rates,
                         states,
-                        rlo,
+                        offs,
                         n_maps,
                         thread_timers[tid],
                     )
@@ -655,19 +667,19 @@ class StreamPipeline:
             raise ConfigError("stream() supports map-only pipelines")
         src = as_source(source, fs=fs)
         timer = timer if timer is not None else Timer()
-        totals, rates, _channels = self._levels(src)
+        totals, rates, channels = self._levels(src)
         chunk = min(int(chunk_samples), src.n_samples)
         if chunk < 1:
             raise ConfigError("chunk_samples must be >= 1")
         n_maps = len(self.maps)
         states: list = [
             op.bind(c, t, r)
-            for op, c, t, r in zip(
-                self.maps, self._levels(src)[2], totals, rates
-            )
+            for op, c, t, r in zip(self.maps, channels, totals, rates)
         ]
         if _ceil_div(src.n_samples, chunk) > 1:
-            self._run_prepasses(src, chunk, totals, rates, states, timer)
+            self._run_prepasses(
+                src, chunk, totals, rates, channels, states, timer
+            )
         for c0, c1 in iter_intervals(src.n_samples, chunk):
             tgt = self._core_targets(c0, c1, totals, n_maps)[-1]
             if tgt[1] <= tgt[0]:
@@ -954,6 +966,7 @@ def run_materialized(
     fs: float = 0.0,
     timer: Timer | None = None,
     interpreted: bool = False,
+    iostats: IOStats | None = None,
 ) -> PipelineResult:
     """The MATLAB-style execution of the same operator graph: one stage at
     a time over the whole array, every intermediate materialised.
@@ -961,23 +974,29 @@ def run_materialized(
     With ``interpreted=True`` operators run their per-channel interpreted
     loops (the way MATLAB scripts iterate channels); built-in kernels
     (FFT) stay vectorised, as MATLAB's do.  Per-stage wall time lands in
-    ``timer`` under the operator names; the profile's peak resident bytes
-    reflect the whole-array intermediates — the Fig. 9 memory story.
+    ``timer`` under the same phase names streamed execution uses —
+    ``read`` for input coercion, ``{op}:prepass`` for whole-record state,
+    one phase per stage — so streamed-vs-materialised profiles compare
+    phase for phase; the profile's peak resident bytes reflect the
+    whole-array intermediates — the Fig. 9 memory story.
     """
     pipe = operators if isinstance(operators, StreamPipeline) else StreamPipeline(operators)
-    data = np.asarray(data, dtype=np.float64)
+    timer = timer if timer is not None else Timer()
+    io_before = iostats.full_snapshot() if iostats is not None else None
+    with timer.phase("read"):
+        data = np.asarray(data, dtype=np.float64)
     if data.ndim != 2:
         raise ConfigError("need a 2-D (channels, time) array")
-    timer = timer if timer is not None else Timer()
     cur = data
     total = data.shape[1]
     rate = fs
     peak = data.nbytes
     for op in pipe.maps:
         if op.needs_prepass:
-            acc = op.prepass_init(cur.shape[0], total)
-            op.prepass_update(acc, cur, 0)
-            state = op.prepass_finalize(acc)
+            with timer.phase(f"{op.name}:prepass"):
+                acc = op.prepass_init(cur.shape[0], total)
+                op.prepass_update(acc, cur, 0)
+                state = op.prepass_finalize(acc)
         else:
             state = op.bind(cur.shape[0], total, rate)
         ctx = OpContext(
@@ -1013,6 +1032,11 @@ def run_materialized(
         chunk_samples=data.shape[1],
         threads=1,
         bytes_streamed=data.nbytes,
+        bytes_read=(
+            iostats.full_snapshot()["bytes_read"] - io_before["bytes_read"]
+            if io_before is not None
+            else None
+        ),
         peak_resident_bytes=peak,
         output_bytes=output.nbytes if isinstance(output, np.ndarray) else 0,
     )

@@ -29,7 +29,6 @@ from repro.hdf5lite.hyperslab import (
     Hyperslab,
     coalesce_runs,
     contiguous_runs,
-    intersect,
     normalize_selection,
     selection_shape,
 )
@@ -381,27 +380,14 @@ class Dataset:
         return out.reshape(hs.count)
 
     def _read_chunked(self, hs: Hyperslab) -> np.ndarray:
-        if any(s != 1 for s in hs.stride):
-            # Strided reads on chunked data: read the bounding unit-stride
-            # region, then subsample in memory.
-            bounding = Hyperslab(
-                start=hs.start,
-                count=tuple(
-                    (c - 1) * st + 1 for c, st in zip(hs.count, hs.stride)
-                ),
-                stride=tuple(1 for _ in hs.start),
-            )
-            block = self._read_chunked(bounding)
-            slicer = tuple(slice(None, None, st) for st in hs.stride)
-            return np.ascontiguousarray(block[slicer])
-
         chunks = self.chunks
         assert chunks is not None
         codec = self.codec
         info = self._checksums()
         chunk_crcs = info.chunk_crcs if info is not None and info.chunked else None
         out = np.empty(hs.count, dtype=self.dtype)
-        sel_slab = hs
+        if out.size == 0:
+            return out
         index: dict[str, int] = self._meta["chunk_index"]
         itemsize = self.itemsize
         backend = self._file._backend
@@ -409,9 +395,14 @@ class Dataset:
         if cache is not None and not cache.enabled:
             cache = None
 
+        # Chunk-grid bounds of the selection *lattice*: the last touched
+        # element along each axis sits at start + (count-1)*stride, so a
+        # strided selection visits (and pays for) only the chunks its
+        # lattice actually lands on.
         lo = [s // c for s, c in zip(hs.start, chunks)]
         hi = [
-            (s + n - 1) // c for s, n, c in zip(hs.start, hs.count, chunks)
+            (s + (n - 1) * st) // c
+            for s, n, st, c in zip(hs.start, hs.count, hs.stride, chunks)
         ]
         coord = list(lo)
         while True:
@@ -420,42 +411,26 @@ class Dataset:
                 min(c, dim - cs)
                 for c, cs, dim in zip(chunks, chunk_start, self.shape)
             )
-            chunk_slab = Hyperslab(
-                chunk_start, chunk_count, tuple(1 for _ in chunks)
-            )
-            overlap = intersect(sel_slab, chunk_slab)
+            overlap = _strided_chunk_overlap(hs, chunk_start, chunk_count)
             if overlap is not None:
-                key = _chunk_key(coord)
-                if key not in index:
-                    raise FormatError(f"missing chunk {key} in {self.path}")
-                chunk_offset = int(index[key])
-                crc_expected = chunk_crcs.get(key) if chunk_crcs is not None else None
-                crc_what = f"chunk {key}"
-                # Selection local to the chunk's own coordinates.
-                local = Hyperslab(
-                    start=tuple(
-                        o - cs for o, cs in zip(overlap.start, chunk_start)
-                    ),
-                    count=overlap.count,
-                    stride=tuple(1 for _ in chunks),
+                local, vals = overlap
+                ckey = _chunk_key(coord)
+                if ckey not in index:
+                    raise FormatError(f"missing chunk {ckey} in {self.path}")
+                chunk_offset = int(index[ckey])
+                crc_expected = (
+                    chunk_crcs.get(ckey) if chunk_crcs is not None else None
                 )
+                crc_what = f"chunk {ckey}"
                 chunk_nbytes = (
                     int(np.prod(chunk_count, dtype=np.int64)) * itemsize
                 )
-                dest = tuple(
-                    slice(o - s, o - s + n)
-                    for o, s, n in zip(overlap.start, hs.start, overlap.count)
-                )
                 if codec is not None:
                     chunk_arr = self._load_codec_chunk(
-                        codec, key, chunk_offset, chunk_count,
+                        codec, ckey, chunk_offset, chunk_count,
                         crc_expected, cache,
                     )
-                    local_sel = tuple(
-                        slice(s, s + n)
-                        for s, n in zip(local.start, local.count)
-                    )
-                    out[dest] = chunk_arr[local_sel]
+                    out[vals] = chunk_arr[local]
                 elif cache is not None and chunk_nbytes <= cache.config.byte_budget:
                     # Chunk-granular caching: a miss loads the whole chunk in
                     # one request (run-coalescing for free); later touches of
@@ -475,11 +450,7 @@ class Dataset:
                     chunk_arr = np.frombuffer(raw, dtype=self.dtype).reshape(
                         chunk_count
                     )
-                    local_sel = tuple(
-                        slice(s, s + n)
-                        for s, n in zip(local.start, local.count)
-                    )
-                    out[dest] = chunk_arr[local_sel]
+                    out[vals] = chunk_arr[local]
                 elif crc_expected is not None:
                     # Verification needs the whole chunk's bytes; read it
                     # once, verify, slice in memory.
@@ -491,17 +462,24 @@ class Dataset:
                     chunk_arr = np.frombuffer(raw, dtype=self.dtype).reshape(
                         chunk_count
                     )
-                    local_sel = tuple(
-                        slice(s, s + n)
-                        for s, n in zip(local.start, local.count)
-                    )
-                    out[dest] = chunk_arr[local_sel]
+                    out[vals] = chunk_arr[local]
                 else:
-                    piece = np.empty(local.size, dtype=self.dtype)
+                    # Raw uncached chunk: read only the lattice's byte runs,
+                    # so a stride-q read moves ~1/q of the chunk's bytes.
+                    counts = tuple(v.stop - v.start for v in vals)
+                    local_slab = Hyperslab(
+                        start=tuple(sl.start for sl in local),
+                        count=counts,
+                        stride=tuple(sl.step for sl in local),
+                    )
+                    n_elems = 1
+                    for n in counts:
+                        n_elems *= n
+                    piece = np.empty(n_elems, dtype=self.dtype)
                     view = memoryview(piece.view(np.uint8)).cast("B")
                     cursor = 0
                     for elem_offset, elem_count in contiguous_runs(
-                        local, chunk_count
+                        local_slab, chunk_count
                     ):
                         nbytes = elem_count * itemsize
                         backend.readinto_at(
@@ -509,7 +487,7 @@ class Dataset:
                             view[cursor : cursor + nbytes],
                         )
                         cursor += nbytes
-                    out[dest] = piece.reshape(local.count)
+                    out[vals] = piece.reshape(counts)
             # Odometer over chunk grid coordinates.
             dim_idx = len(coord) - 1
             while dim_idx >= 0:
@@ -577,37 +555,44 @@ class Dataset:
         return codec.decode(payload, chunk_count, self.dtype)
 
     def _read_virtual(self, hs: Hyperslab) -> np.ndarray:
-        if any(s != 1 for s in hs.stride):
-            bounding = Hyperslab(
-                start=hs.start,
-                count=tuple(
-                    (c - 1) * st + 1 for c, st in zip(hs.count, hs.stride)
-                ),
-                stride=tuple(1 for _ in hs.start),
-            )
-            block = self._read_virtual(bounding)
-            slicer = tuple(slice(None, None, st) for st in hs.stride)
-            return np.ascontiguousarray(block[slicer])
-
         fill = self._meta.get("fill", 0)
         out = np.full(hs.count, fill, dtype=self.dtype)
         handler = self._file.on_source_error
         skip = self._file.skip_sources
+        unit = all(s == 1 for s in hs.stride)
         for source in self.virtual_sources:
-            overlap = intersect(hs, source.dst_slab())
-            if overlap is None:
+            ov = _strided_chunk_overlap(hs, source.dst_start, source.count)
+            if ov is None:
                 continue
-            dest = tuple(
-                slice(o - s, o - s + n)
-                for o, s, n in zip(overlap.start, hs.start, overlap.count)
+            local, vals = ov
+            dst_region = Hyperslab(
+                start=tuple(
+                    d + sl.start for d, sl in zip(source.dst_start, local)
+                ),
+                count=tuple(v.stop - v.start for v in vals),
+                stride=tuple(sl.step for sl in local),
             )
+            # Degraded-read bookkeeping stays in unit-stride *bounding*
+            # coordinates: gap spans must keep their raw meaning on the
+            # virtual axis however sparsely the failed span was sampled.
+            if unit:
+                overlap = dst_region
+            else:
+                overlap = Hyperslab(
+                    start=dst_region.start,
+                    count=tuple(
+                        (n - 1) * st + 1
+                        for n, st in zip(dst_region.count, dst_region.stride)
+                    ),
+                    stride=tuple(1 for _ in dst_region.start),
+                )
             if skip and source.file in skip:
                 # Blacklisted by a previous degraded read: don't touch the
                 # source again, leave its span masked.
                 if self._file.source_fill is not None:
-                    out[dest] = self._file.source_fill
+                    out[vals] = self._file.source_fill
                 continue
-            src_slab = source.src_slab_for(overlap)
+            src_slab = source.src_slab_for(dst_region)
             try:
                 src_file = self._file._resolve_source(source.file)
                 src_ds = src_file.dataset(source.dataset)
@@ -618,9 +603,9 @@ class Dataset:
                 mask_fill = handler(source, overlap, exc)
                 if mask_fill is None:
                     raise
-                out[dest] = mask_fill
+                out[vals] = mask_fill
                 continue
-            out[dest] = piece.astype(self.dtype, copy=False)
+            out[vals] = piece.astype(self.dtype, copy=False)
         return out
 
     # -- writing ---------------------------------------------------------------

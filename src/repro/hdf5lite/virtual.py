@@ -70,18 +70,23 @@ class VirtualSource:
         """Translate a destination sub-region into source coordinates.
 
         ``dst_region`` must lie entirely within this source's destination
-        region (callers intersect first).
+        region (callers intersect first).  The mapping is a pure
+        translation, so a strided destination lattice maps to the same
+        lattice in source coordinates — which is what lets decimation
+        pushdown delegate strided reads to the per-minute source files.
         """
         start = []
         for dim in range(self.ndim):
             rel = dst_region.start[dim] - self.dst_start[dim]
-            if rel < 0 or rel + dst_region.count[dim] > self.count[dim]:
+            n, st = dst_region.count[dim], dst_region.stride[dim]
+            last = rel + (n - 1) * st if n > 0 else rel
+            if rel < 0 or last >= self.count[dim]:
                 raise FormatError("destination region escapes the source mapping")
             start.append(self.src_start[dim] + rel)
         return Hyperslab(
             start=tuple(start),
             count=dst_region.count,
-            stride=tuple(1 for _ in start),
+            stride=dst_region.stride,
         )
 
     def to_dict(self) -> dict[str, Any]:

@@ -76,6 +76,22 @@ class ChunkSource:
     def read(self, t0: int, t1: int) -> np.ndarray:
         return self.read_rows(0, self.n_channels, t0, t1)
 
+    def read_strided(
+        self, r0: int, r1: int, t0: int, t1: int, tstep: int = 1
+    ) -> np.ndarray:
+        """Rows ``[r0, r1)``, every ``tstep``-th sample of ``[t0, t1)``.
+
+        The base implementation reads the bounding block and subsamples in
+        memory; sources backed by sliceable datasets override this to push
+        the stride into the storage layer so only the lattice's bytes move.
+        """
+        if tstep < 1:
+            raise ConfigError("tstep must be >= 1")
+        if tstep == 1:
+            return self.read_rows(r0, r1, t0, t1)
+        block = self.read_rows(r0, r1, t0, t1)[:, ::tstep]
+        return np.ascontiguousarray(block)
+
     def _check(self, r0: int, r1: int, t0: int, t1: int) -> None:
         if not (0 <= r0 <= r1 <= self.n_channels):
             raise ConfigError(
@@ -114,6 +130,18 @@ class ArraySource(ChunkSource):
         self.bytes_streamed += block.nbytes
         return block
 
+    def read_strided(
+        self, r0: int, r1: int, t0: int, t1: int, tstep: int = 1
+    ) -> np.ndarray:
+        if tstep < 1:
+            raise ConfigError("tstep must be >= 1")
+        self._check(r0, r1, t0, t1)
+        block = np.ascontiguousarray(
+            np.asarray(self._data[r0:r1, t0:t1:tstep], dtype=np.float64)
+        )
+        self.bytes_streamed += block.nbytes
+        return block
+
 
 class DatasetSource(ChunkSource):
     """A chunk source over anything sliceable with ``shape`` — an hdf5lite
@@ -132,6 +160,20 @@ class DatasetSource(ChunkSource):
     def read_rows(self, r0: int, r1: int, t0: int, t1: int) -> np.ndarray:
         self._check(r0, r1, t0, t1)
         block = np.asarray(self._dataset[r0:r1, t0:t1], dtype=np.float64)
+        self.bytes_streamed += block.nbytes
+        return block
+
+    def read_strided(
+        self, r0: int, r1: int, t0: int, t1: int, tstep: int = 1
+    ) -> np.ndarray:
+        if tstep < 1:
+            raise ConfigError("tstep must be >= 1")
+        self._check(r0, r1, t0, t1)
+        # The dataset slice carries the stride all the way down: hdf5lite
+        # reads only the lattice's byte runs (and skips missed chunks).
+        block = np.ascontiguousarray(
+            np.asarray(self._dataset[r0:r1, t0:t1:tstep], dtype=np.float64)
+        )
         self.bytes_streamed += block.nbytes
         return block
 
@@ -185,6 +227,80 @@ class VCASource(DatasetSource):
 
     def close(self) -> None:
         self._handle.close()
+
+
+class SlicedSource(ChunkSource):
+    """A pushdown view of another source: a channel range and a time stride.
+
+    This is what the query optimizer lowers ``select_channels`` /
+    ``decimate`` into: channel row ``r`` of this source is row
+    ``channel_lo + r`` of ``inner``, and time sample ``t`` is inner sample
+    ``t * step`` — the subsample lattice is anchored at inner sample 0, so
+    reading through the view is bit-identical to subsampling in memory.
+    ``bytes_streamed`` counts the bytes handed out (the reduced volume).
+    """
+
+    def __init__(
+        self,
+        inner: ChunkSource,
+        channel_lo: int = 0,
+        channel_hi: int | None = None,
+        step: int = 1,
+        owns_inner: bool = False,
+    ):
+        super().__init__()
+        if channel_hi is None:
+            channel_hi = inner.n_channels
+        if not (0 <= channel_lo < channel_hi <= inner.n_channels):
+            raise ConfigError(
+                f"channel range [{channel_lo}, {channel_hi}) outside "
+                f"{inner.n_channels} channels"
+            )
+        if step < 1:
+            raise ConfigError("step must be >= 1")
+        self._inner = inner
+        self.channel_lo = int(channel_lo)
+        self.channel_hi = int(channel_hi)
+        self.step = int(step)
+        self.n_channels = self.channel_hi - self.channel_lo
+        self.n_samples = -(-inner.n_samples // self.step)
+        self.fs = inner.fs / self.step if inner.fs else inner.fs
+        self._owns = bool(owns_inner)
+
+    @property
+    def inner(self) -> ChunkSource:
+        return self._inner
+
+    @property
+    def gaps(self):
+        """Degraded-read gap map of the wrapped source (raw coordinates)."""
+        return getattr(self._inner, "gaps", None)
+
+    @property
+    def path(self):
+        """The wrapped source's path, so gap/profile labels survive
+        pushdown unchanged."""
+        return getattr(self._inner, "path", None)
+
+    def read_rows(self, r0: int, r1: int, t0: int, t1: int) -> np.ndarray:
+        self._check(r0, r1, t0, t1)
+        if t1 <= t0 or r1 <= r0:
+            return np.empty((r1 - r0, max(0, t1 - t0)), dtype=np.float64)
+        raw_t0 = t0 * self.step
+        raw_t1 = (t1 - 1) * self.step + 1
+        block = self._inner.read_strided(
+            r0 + self.channel_lo,
+            r1 + self.channel_lo,
+            raw_t0,
+            raw_t1,
+            self.step,
+        )
+        self.bytes_streamed += block.nbytes
+        return block
+
+    def close(self) -> None:
+        if self._owns:
+            self._inner.close()
 
 
 def open_stream(

@@ -16,12 +16,14 @@ from repro.checks.api import PublicApiAnalyzer
 from repro.checks.baseline import Baseline, Waiver
 from repro.checks.contracts import OperatorContractAnalyzer
 from repro.checks.locks import LockDisciplineAnalyzer
+from repro.checks.pln import PlannerGeometryAnalyzer
 from repro.checks.runner import load_project, run_analyzers
 from repro.checks.source import Project, load_module
 from repro.checks.taxonomy import ExceptionTaxonomyAnalyzer
 from repro.errors import ConfigError
 
 FIXTURES = Path(__file__).resolve().parent / "fixtures" / "checks"
+ROOT_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 
 def project_for(name: str, rel: str | None = None) -> Project:
@@ -140,6 +142,57 @@ def test_contracts_inherited_hooks_count():
         OperatorContractAnalyzer().run(project_for("contracts_good.py"))
     )
     assert not any("DerivedSink" in f.message for f in findings)
+
+
+# -- planner geometry --------------------------------------------------------
+
+def test_pln_good_is_clean():
+    findings = list(
+        PlannerGeometryAnalyzer().run(project_for("pln_good.py"))
+    )
+    assert findings == []
+
+
+def test_pln_bad_findings():
+    findings = list(
+        PlannerGeometryAnalyzer().run(project_for("pln_bad.py"))
+    )
+    assert codes(findings) == {
+        "PLN001": 1,
+        "PLN002": 2,
+        "PLN003": 1,
+        "PLN004": 1,
+    }
+
+
+def test_pln_partial_trio_not_double_reported():
+    """A partial trio is PLN001 only — PLN002 must not re-flag the same
+    incoherence."""
+    findings = list(
+        PlannerGeometryAnalyzer().run(project_for("pln_bad.py"))
+    )
+    partial = [f for f in findings if "PartialTrioOp" in f.message]
+    assert [f.code for f in partial] == ["PLN001"]
+
+
+def test_pln_inherited_grid_not_reflagged():
+    """DerivedGridOp (pln_good) inherits the complete custom grid and
+    must not be flagged."""
+    findings = list(
+        PlannerGeometryAnalyzer().run(project_for("pln_good.py"))
+    )
+    assert not any("DerivedGridOp" in f.message for f in findings)
+
+
+def test_pln_real_operator_stack_is_clean():
+    """The shipped operator stack's declarations must pass their own
+    lint: LocalSimilarityOp overrides the full trio, SubsampleOp's
+    decimate is non-literal, FusedOp's halo is computed."""
+    project = load_project(ROOT_SRC.parent.parent)
+    findings = [
+        f for f in run_analyzers(project) if f.code.startswith("PLN")
+    ]
+    assert findings == []
 
 
 # -- public API --------------------------------------------------------------

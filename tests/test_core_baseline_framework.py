@@ -67,6 +67,8 @@ class TestBaselineCorrectness:
             np.random.default_rng(2).normal(size=(3, 500)), config, timer=timer
         )
         assert set(timer.phases) == {
+            "read",
+            "detrend:prepass",
             "detrend",
             "taper",
             "filtfilt",
