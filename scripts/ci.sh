@@ -19,7 +19,12 @@
 # plans read strictly fewer backend bytes than their eager reference
 # with bit-identical output, and that a shared-prefix two-detector
 # co-run beats two single-detector runs in wall time and bytes read
-# (BENCH_planner.json).  repro.checks rejects new lock-discipline,
+# (BENCH_planner.json).  The serve smoke run asserts pyramid previews
+# read strictly fewer backend bytes than raw-path decimation with
+# identical pixels, served windows are bit-exact against a direct
+# planner query, and a greedy tenant saturating its quota leaves a
+# polite tenant's p95 latency within the configured isolation bound
+# (BENCH_serve.json).  repro.checks rejects new lock-discipline,
 # exception-taxonomy, operator-contract, planner-geometry, and
 # public-API findings not in scripts/checks_baseline.json.
 set -euo pipefail
@@ -35,3 +40,4 @@ python benchmarks/bench_rt_service.py --smoke
 python benchmarks/bench_faults.py --smoke
 python benchmarks/bench_compress.py --smoke
 python benchmarks/bench_planner.py --smoke
+python benchmarks/bench_serve.py --smoke

@@ -29,12 +29,15 @@ Quickstart::
 
 from repro._version import __version__
 from repro.errors import (
+    AdmissionQueueFullError,
     ConfigError,
     FormatError,
     MPIError,
     OutOfMemoryError,
+    QuotaExceededError,
     ReproError,
     SelectionError,
+    ServeError,
     StorageError,
     UDFError,
 )
@@ -60,4 +63,7 @@ __all__ = [
     "OutOfMemoryError",
     "UDFError",
     "ConfigError",
+    "ServeError",
+    "QuotaExceededError",
+    "AdmissionQueueFullError",
 ]

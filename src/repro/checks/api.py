@@ -48,6 +48,7 @@ LAYER_RANKS = {
     "synthetic": 5,
     "core": 6,
     "rt": 7,
+    "serve": 8,        # consumer-facing top; nothing may import it back
     "checks": 8,       # tooling on top; nothing may depend on it
 }
 

@@ -92,14 +92,30 @@ class SanitizedLock:
         self.release()
 
     # -- RLock protocol used by threading.Condition -------------------------
+    # A raw Lock has none of these, and Condition binds them at __init__
+    # by hasattr — since this wrapper always exposes them, the
+    # non-reentrant branch must reproduce Condition's own plain-lock
+    # fallbacks (probe-acquire for ownership, full acquire/release for
+    # save/restore).
     def _is_owned(self):  # pragma: no cover - exercised via Condition
-        return self._inner._is_owned()
+        if self._reentrant:
+            return self._inner._is_owned()
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
 
     def _acquire_restore(self, state):  # pragma: no cover
+        if not self._reentrant:
+            self.acquire()
+            return
         self._inner._acquire_restore(state)
         self._sanitizer._on_acquire(self)
 
     def _release_save(self):  # pragma: no cover
+        if not self._reentrant:
+            self.release()
+            return None
         self._sanitizer._on_release(self)
         return self._inner._release_save()
 
@@ -110,6 +126,22 @@ class SanitizedLock:
 class _ThreadState(threading.local):
     def __init__(self):
         self.held: list[SanitizedLock] = []
+
+
+def _thread_name() -> str:
+    """Name of the calling thread, without ``current_thread()``.
+
+    ``current_thread()`` builds a ``_DummyThread`` for unregistered
+    threads, and ``_DummyThread.__init__`` constructs an ``Event`` whose
+    lock is instrumented while the sanitizer is installed — which calls
+    straight back into the acquire hook, recursing forever.  A thread is
+    unregistered exactly during its bootstrap window (``_bootstrap_inner``
+    fires ``self._started`` — a sanitized ``Event`` — *before* adding
+    itself to ``threading._active``), so every ``Thread.start()`` under
+    the sanitizer crosses that window.
+    """
+    thread = threading._active.get(threading.get_ident())
+    return thread.name if thread is not None else f"thread-{threading.get_ident()}"
 
 
 class LockSanitizer:
@@ -179,7 +211,7 @@ class LockSanitizer:
         if lock._reentrant and any(h is lock for h in held):
             held.append(lock)  # reentrant re-acquire: no new edges
             return
-        thread = threading.current_thread().name
+        thread = _thread_name()
         with self._meta:
             for prior in held:
                 if prior is lock:
@@ -241,7 +273,7 @@ class LockSanitizer:
                             f"{base.__name__}.{name} written without "
                             f"holding {lock_attr} ({lock.name})"
                         ),
-                        thread=threading.current_thread().name,
+                        thread=_thread_name(),
                     ))
 
         namespace = {

@@ -59,6 +59,7 @@ from repro.core.graph import (
     verify_geometry,
 )
 from repro.core.pipeline import (
+    FnOperator,
     OpContext,
     Operator,
     PipelineProfile,
@@ -546,6 +547,14 @@ def _wrap_pushdown(plan: PhysicalPlan, src, chunk: int):
     )
 
 
+def _passthrough() -> FnOperator:
+    """Identity stage for plans whose every operator was pushed into the
+    source (a pure select/decimate read): :class:`StreamPipeline` refuses
+    an empty operator list, and the identity has no halo and no rate
+    change, so the run is exactly the chunked read."""
+    return FnOperator("read", lambda block: block)
+
+
 def _execute_single(
     plan: PhysicalPlan,
     src,
@@ -562,7 +571,7 @@ def _execute_single(
         if chain.sink is not None:
             ops.append(chain.sink)
         ops.extend(chain.post)
-        pipe = StreamPipeline(ops)
+        pipe = StreamPipeline(ops or [_passthrough()])
         return pipe.run(
             src,
             chunk_samples=chunk,
@@ -577,7 +586,7 @@ def _execute_single(
         ops.append(branch.sink)
     ops.extend(branch.post)
     run_src, run_chunk = _wrap_pushdown(plan, src, chunk)
-    pipe = StreamPipeline(ops)
+    pipe = StreamPipeline(ops or [_passthrough()])
     return pipe.run(
         run_src,
         chunk_samples=run_chunk,

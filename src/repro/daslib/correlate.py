@@ -32,20 +32,22 @@ def abscorr(c1: np.ndarray, c2: np.ndarray, axis: int = -1) -> np.ndarray | floa
     """
     c1 = np.asarray(c1)
     c2 = np.asarray(c2)
-    # Deadness is judged on the raw norms; the cosine itself is computed
-    # on peak-rescaled windows (|cos θ| is scale-invariant) so that
-    # tiny-amplitude windows don't lose precision to denormal squares.
-    n1 = np.sqrt(np.sum(np.abs(c1) ** 2, axis=axis))
-    n2 = np.sqrt(np.sum(np.abs(c2) ** 2, axis=axis))
-    alive = (n1 > _DEAD_NORM) & (n2 > _DEAD_NORM)
+    # Everything — the cosine AND the dead-window norms — is computed on
+    # peak-rescaled windows (|cos θ| is scale-invariant) so that
+    # tiny-amplitude windows don't lose precision to denormal squares:
+    # ``peak * ||v/peak||`` cannot underflow, where ``sum(|v|**2)`` does
+    # as soon as elements dip below ~1.5e-162.
     s1 = np.max(np.abs(c1), axis=axis, keepdims=True)
     s2 = np.max(np.abs(c2), axis=axis, keepdims=True)
     u1 = c1 / np.where(s1 > 0, s1, 1.0)
     u2 = c2 / np.where(s2 > 0, s2, 1.0)
+    r1 = np.sqrt(np.sum(np.abs(u1) ** 2, axis=axis))  # in [1, sqrt(n)]
+    r2 = np.sqrt(np.sum(np.abs(u2) ** 2, axis=axis))
+    n1 = np.squeeze(s1, axis=axis) * r1
+    n2 = np.squeeze(s2, axis=axis) * r2
+    alive = (n1 > _DEAD_NORM) & (n2 > _DEAD_NORM)
     num = np.abs(np.sum(u1 * np.conj(u2), axis=axis))
-    denom = np.sqrt(np.sum(np.abs(u1) ** 2, axis=axis)) * np.sqrt(
-        np.sum(np.abs(u2) ** 2, axis=axis)
-    )
+    denom = r1 * r2
     safe = alive & (denom > _EPS)
     out = np.where(safe, num / np.where(safe, denom, 1.0), 0.0)
     if out.ndim == 0:

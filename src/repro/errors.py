@@ -17,6 +17,9 @@ __all__ = [
     "OutOfMemoryError",
     "UDFError",
     "ConfigError",
+    "ServeError",
+    "QuotaExceededError",
+    "AdmissionQueueFullError",
 ]
 
 
@@ -96,6 +99,49 @@ class OutOfMemoryError(ReproError):
 
 class UDFError(ReproError):
     """Raised when a user-defined function fails inside the ArrayUDF engine."""
+
+
+class ServeError(ReproError):
+    """Raised by the read-serving layer (:mod:`repro.serve`) for request
+    failures that are not storage corruption: bad window geometry against
+    an archive, a missing pyramid level, or an admission decision."""
+
+
+class QuotaExceededError(ServeError):
+    """Raised when a tenant's token-bucket quota cannot admit a request
+    (and the caller asked not to wait, or the wait timed out).
+
+    ``tenant`` names the quota bucket, ``kind`` which budget ran out
+    (``"requests"`` or ``"bytes"``), ``retry_after`` the seconds until
+    the bucket could admit the request — clients are expected to back
+    off by at least that much.
+    """
+
+    def __init__(self, tenant: str, kind: str = "requests", retry_after: float = 0.0):
+        self.tenant = str(tenant)
+        self.kind = kind
+        self.retry_after = float(retry_after)
+        super().__init__(
+            f"tenant {self.tenant!r}: {kind} quota exceeded "
+            f"(retry after {self.retry_after:.3f}s)"
+        )
+
+
+class AdmissionQueueFullError(ServeError):
+    """Raised when a request cannot even *wait*: the tenant's bounded
+    admission queue is already at capacity.  Distinct from
+    :class:`QuotaExceededError` so load shedding (drop now, no backoff
+    hint) and pacing (retry after) stay separable failure modes.
+
+    ``tenant`` names the queue, ``depth`` its configured bound.
+    """
+
+    def __init__(self, tenant: str, depth: int):
+        self.tenant = str(tenant)
+        self.depth = int(depth)
+        super().__init__(
+            f"tenant {self.tenant!r}: admission queue full ({self.depth} waiting)"
+        )
 
 
 class ConfigError(ReproError, ValueError):

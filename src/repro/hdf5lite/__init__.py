@@ -50,6 +50,12 @@ from repro.hdf5lite.hyperslab import (
     normalize_selection,
     selection_shape,
 )
+from repro.hdf5lite.pyramid import (
+    PYRAMID_GROUP,
+    PyramidLevel,
+    pyramid_levels,
+    pyramid_problems,
+)
 from repro.hdf5lite.virtual import VirtualSource
 
 __all__ = [
@@ -78,4 +84,8 @@ __all__ = [
     "coalesce_runs",
     "contiguous_runs",
     "intersect",
+    "PYRAMID_GROUP",
+    "PyramidLevel",
+    "pyramid_levels",
+    "pyramid_problems",
 ]

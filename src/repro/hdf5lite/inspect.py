@@ -24,6 +24,7 @@ from repro.hdf5lite.dataset import (
     Dataset,
 )
 from repro.hdf5lite.file import File, Group
+from repro.hdf5lite.pyramid import FACTOR_ATTR, LEVEL_ATTR, is_pyramid_level, pyramid_problems
 
 
 @dataclass(frozen=True)
@@ -52,8 +53,13 @@ def describe(file: File, attrs: bool = False) -> str:
             child = group[name]
             if isinstance(child, Dataset):
                 extra = ""
+                if is_pyramid_level(child):
+                    extra += (
+                        f" pyramid[level={int(child.attrs[LEVEL_ATTR])}"
+                        f" factor={int(child.attrs[FACTOR_ATTR])}]"
+                    )
                 if child.layout == LAYOUT_CHUNKED:
-                    extra = f" chunks={child.chunks}"
+                    extra += f" chunks={child.chunks}"
                     spec = child.attrs.get(CODEC_ATTR)
                     if spec is not None:
                         try:
@@ -66,7 +72,7 @@ def describe(file: File, attrs: bool = False) -> str:
                         except FormatError:
                             extra += f" codec={spec} (unresolvable)"
                 elif child.layout == LAYOUT_VIRTUAL:
-                    extra = f" sources={len(child.virtual_sources)}"
+                    extra += f" sources={len(child.virtual_sources)}"
                 lines.append(
                     f"{indent}{name}  dataset {child.shape} {child.dtype}"
                     f" [{child.layout}]{extra}"
@@ -210,4 +216,6 @@ def verify(file: File, check_sources: bool = True) -> list[Problem]:
                 walk(child)
 
     walk(file)
+    for path, message in pyramid_problems(file):
+        problems.append(Problem(path, message))
     return problems

@@ -1,0 +1,211 @@
+"""Decimation-pyramid *builder* and level selection (the serving half).
+
+The storage-side format — attribute names, discovery, validation — lives
+in :mod:`repro.hdf5lite.pyramid` (so ``das_inspect`` works without this
+package).  This module produces the levels and picks one per request:
+
+* :func:`build_pyramid` streams the archive through the core
+  :class:`~repro.core.operators.DecimateOp` once per level and stores the
+  results as chunked hdf5lite datasets (codec + CRC sidecar) inside the
+  archive file itself.  Each level is computed *from the raw record*
+  with the cumulative factor — never by re-decimating the previous level
+  — which is what makes the bit-exactness contract checkable: level
+  ``k`` equals ``DecimateOp(factor**k)`` applied to the raw record,
+  nothing more.
+* :func:`select_level` picks the coarsest stored level that still
+  delivers at least one sample per requested output pixel, so a
+  zoomed-out preview reads O(output pixels) backend bytes.
+* NaN gap columns (degraded reads masked by the storage layer) propagate
+  through the decimation FIR into NaN preview pixels — the mask arrives
+  for free, no side-channel needed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.graph import Query
+from repro.core.operators import DecimateOp
+from repro.core.optimizer import execute, optimize
+from repro.errors import ConfigError, ServeError
+from repro.hdf5lite import File
+from repro.hdf5lite.pyramid import (
+    BASE_DATASET_ATTR,
+    BASE_FACTOR_ATTR,
+    BASE_SAMPLES_ATTR,
+    FACTOR_ATTR,
+    FS_ATTR,
+    LEVEL_ATTR,
+    PYRAMID_GROUP,
+    PyramidLevel,
+    pyramid_levels,
+)
+from repro.storage.chunks import as_source, open_stream
+from repro.storage.vca import VCA_DATASET
+from repro.utils.iostats import IOStats
+
+__all__ = [
+    "PyramidConfig",
+    "build_pyramid",
+    "compute_level",
+    "select_level",
+    "level_slice",
+]
+
+
+@dataclass(frozen=True)
+class PyramidConfig:
+    """Build-time knobs.
+
+    ``factor`` is the per-level decimation (level ``k`` holds the record
+    at ``1/factor**k`` rate); levels stop at ``max_levels`` or when the
+    next level would fall below ``min_samples``.  ``codec`` /
+    ``checksum`` are stored per level exactly like any other hdf5lite
+    dataset; ``chunk_samples`` is the stored chunk length,
+    ``build_chunk`` the streaming chunk during construction (``None`` =
+    auto).
+    """
+
+    factor: int = 4
+    max_levels: int = 8
+    min_samples: int = 64
+    codec: str | None = "delta-zlib:1"
+    checksum: bool = True
+    chunk_samples: int = 8192
+    build_chunk: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.factor < 2:
+            raise ConfigError("pyramid factor must be >= 2")
+        if self.max_levels < 1:
+            raise ConfigError("max_levels must be >= 1")
+        if self.min_samples < 1:
+            raise ConfigError("min_samples must be >= 1")
+        if self.chunk_samples < 1:
+            raise ConfigError("chunk_samples must be >= 1")
+
+
+def compute_level(
+    source: object,
+    factor: int,
+    chunk_samples: int | None = None,
+    iostats: IOStats | None = None,
+) -> np.ndarray:
+    """The decimated record: ``DecimateOp(factor)`` streamed over
+    ``source`` via the planner.  This *is* the pyramid-level definition —
+    the builder stores its output, and the correctness tests compare the
+    stored level against a fresh call.
+    """
+    src = as_source(source)
+    plan = optimize(
+        Query.scan(None).then(DecimateOp(int(factor))),
+        chunk_samples=chunk_samples,
+        verify=False,
+    )
+    (result,) = execute(plan, source=src, iostats=iostats)
+    return result.output
+
+
+def build_pyramid(
+    archive: str | os.PathLike,
+    config: PyramidConfig | None = None,
+    on_error: str = "raise",
+    fill_value: float = float("nan"),
+    iostats: IOStats | None = None,
+) -> list[PyramidLevel]:
+    """Build and store a decimation pyramid inside a VCA archive file.
+
+    Streams the archive once per level (raw → ``DecimateOp(factor**k)``)
+    and appends the outputs as ``pyramid/level<k>`` chunked datasets with
+    the configured codec and CRC sidecars.  Returns the stored levels.
+
+    ``on_error="mask"`` builds through degraded sources: vanished or
+    corrupt minutes become NaN spans in the raw stream and hence NaN
+    pixels at every level.  Raises :class:`~repro.errors.ServeError` if
+    the archive already carries a pyramid (rebuilds need a fresh VCA —
+    hdf5lite data regions are append-only).
+    """
+    config = config if config is not None else PyramidConfig()
+    path = os.fspath(archive)
+    with File(path, "r") as probe:
+        if PYRAMID_GROUP in probe:
+            raise ServeError(f"{path}: archive already carries a pyramid")
+
+    levels: list[tuple[int, int, np.ndarray, float]] = []
+    with open_stream(
+        path, iostats=iostats, on_error=on_error, fill_value=fill_value
+    ) as src:
+        base_samples = src.n_samples
+        base_fs = src.fs
+        for k in range(1, config.max_levels + 1):
+            factor = config.factor ** k
+            if -(-base_samples // factor) < config.min_samples:
+                break
+            out = compute_level(
+                src, factor, chunk_samples=config.build_chunk, iostats=iostats
+            )
+            levels.append((k, factor, out, base_fs / factor if base_fs else 0.0))
+
+    if not levels:
+        raise ServeError(
+            f"{path}: record too short for any pyramid level "
+            f"(needs >= {config.min_samples * config.factor} samples)"
+        )
+
+    with File(path, "r+") as f:
+        group = f.create_group(PYRAMID_GROUP)
+        group.attrs[BASE_FACTOR_ATTR] = int(config.factor)
+        for k, factor, out, fs in levels:
+            ds = f.create_dataset(
+                f"{PYRAMID_GROUP}/level{k}",
+                data=out,
+                chunks=(out.shape[0], min(config.chunk_samples, out.shape[1])),
+                checksum=config.checksum,
+                codec=config.codec,
+            )
+            ds.attrs[LEVEL_ATTR] = int(k)
+            ds.attrs[FACTOR_ATTR] = int(factor)
+            ds.attrs[BASE_SAMPLES_ATTR] = int(base_samples)
+            ds.attrs[BASE_DATASET_ATTR] = VCA_DATASET
+            ds.attrs[FS_ATTR] = float(fs)
+
+    with File(path, "r") as f:
+        return pyramid_levels(f)
+
+
+def select_level(
+    levels: list[PyramidLevel], span: int, width: int
+) -> PyramidLevel | None:
+    """The coarsest level that still yields >= ``width`` samples over a
+    ``span``-sample window — i.e. at least one stored sample per output
+    pixel.  ``None`` means no stored level is fine enough: read raw.
+    """
+    if span < 1:
+        raise ConfigError("span must be >= 1")
+    if width < 1:
+        raise ConfigError("width must be >= 1")
+    target = span // width
+    best: PyramidLevel | None = None
+    for lvl in sorted(levels, key=lambda lv: lv.factor):
+        if lvl.factor <= target:
+            best = lvl
+    return best
+
+
+def level_slice(factor: int, t0: int, t1: int) -> tuple[int, int]:
+    """Level-index interval covering raw window ``[t0, t1)``.
+
+    :class:`~repro.core.operators.DecimateOp` output ``j`` is centred on
+    raw sample ``j * factor``, so the window owns level samples
+    ``[ceil(t0/factor), ceil(t1/factor))`` — the same tiling law the
+    streaming executor uses, which keeps pyramid reads and planner reads
+    aligned on identical lattices.
+    """
+    if factor < 1:
+        raise ConfigError("factor must be >= 1")
+    if not (0 <= t0 < t1):
+        raise ConfigError(f"bad window [{t0}, {t1})")
+    return (-(-t0 // factor), -(-t1 // factor))

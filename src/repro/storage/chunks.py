@@ -303,6 +303,71 @@ class SlicedSource(ChunkSource):
             self._inner.close()
 
 
+class WindowSource(ChunkSource):
+    """A time-window view ``[t0, t1)`` of another source.
+
+    Local sample ``t`` is inner sample ``t0 + t``; channels pass through
+    unchanged.  This is how the serving layer scopes a request to its
+    window *before* planner lowering, so ``select_channels``/``decimate``
+    pushdown — and the subsample lattice, which
+    :class:`~repro.core.graph.SubsampleOp` anchors at input sample 0 —
+    all operate in window coordinates (anchored at the window start).
+    """
+
+    def __init__(
+        self,
+        inner: ChunkSource,
+        t0: int,
+        t1: int,
+        owns_inner: bool = False,
+    ):
+        super().__init__()
+        if not (0 <= t0 < t1 <= inner.n_samples):
+            raise ConfigError(
+                f"window [{t0}, {t1}) outside {inner.n_samples} samples"
+            )
+        self._inner = inner
+        self.t0 = int(t0)
+        self.t1 = int(t1)
+        self.n_channels = inner.n_channels
+        self.n_samples = self.t1 - self.t0
+        self.fs = inner.fs
+        self._owns = bool(owns_inner)
+
+    @property
+    def inner(self) -> ChunkSource:
+        return self._inner
+
+    @property
+    def gaps(self):
+        """Degraded-read gap map of the wrapped source (raw coordinates)."""
+        return getattr(self._inner, "gaps", None)
+
+    @property
+    def path(self):
+        return getattr(self._inner, "path", None)
+
+    def read_rows(self, r0: int, r1: int, t0: int, t1: int) -> np.ndarray:
+        self._check(r0, r1, t0, t1)
+        block = self._inner.read_rows(r0, r1, self.t0 + t0, self.t0 + t1)
+        self.bytes_streamed += block.nbytes
+        return block
+
+    def read_strided(
+        self, r0: int, r1: int, t0: int, t1: int, tstep: int = 1
+    ) -> np.ndarray:
+        self._check(r0, r1, t0, t1)
+        block = self._inner.read_strided(
+            r0, r1, self.t0 + t0, self.t0 + t1, tstep
+        )
+        self.bytes_streamed += block.nbytes
+        return block
+
+    def close(self) -> None:
+        if self._owns:
+            self._inner.close()
+
+
 def open_stream(
     path: str | os.PathLike,
     iostats: IOStats | None = None,

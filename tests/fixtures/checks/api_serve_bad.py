@@ -1,0 +1,15 @@
+"""Checks fixture: layer-direction violations against ``serve``.
+
+Scanned under a ``src/repro/rt/...`` rel the import is an API003
+(rt rank 7 importing serve rank 8 — a higher layer); under a
+``src/repro/checks/...`` rel it is still an API003 (same-rank coupling:
+tooling and serve both sit at rank 8 and must stay independent).
+"""
+
+from repro.serve import admission
+
+__all__ = ["leak"]
+
+
+def leak():
+    return admission and 1

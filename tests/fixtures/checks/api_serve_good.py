@@ -1,0 +1,12 @@
+"""Checks fixture: a clean serve-layer module — zero findings expected
+when scanned under a ``src/repro/serve/...`` rel.  serve (rank 8) may
+import everything below it (storage rank 4, rt rank 7 here)."""
+
+from repro.rt import metrics
+from repro.storage import chunks
+
+__all__ = ["window"]
+
+
+def window():
+    return metrics and chunks and 1

@@ -217,6 +217,30 @@ def test_api_bad_layer_violation_under_library_rel():
     assert "hdf5lite" in layered.message and "rt" in layered.message
 
 
+def test_api_serve_layer_may_import_below():
+    findings = list(PublicApiAnalyzer().run(
+        project_for("api_serve_good.py", rel="src/repro/serve/api_serve_good.py")
+    ))
+    assert findings == []
+
+
+def test_api_nothing_may_import_serve():
+    findings = list(PublicApiAnalyzer().run(
+        project_for("api_serve_bad.py", rel="src/repro/rt/api_serve_bad.py")
+    ))
+    assert codes(findings) == {"API003": 1}
+    assert "rt" in findings[0].message and "serve" in findings[0].message
+    assert "higher layer" in findings[0].message
+
+
+def test_api_serve_checks_same_rank_coupling_flagged():
+    findings = list(PublicApiAnalyzer().run(
+        project_for("api_serve_bad.py", rel="src/repro/checks/api_serve_bad.py")
+    ))
+    assert codes(findings) == {"API003": 1}
+    assert "same-rank" in findings[0].message
+
+
 def test_api_missing_all_on_top_level_library_module():
     findings = list(PublicApiAnalyzer().run(
         project_for("taxonomy_bad.py", rel="src/repro/taxonomy_bad.py")

@@ -159,6 +159,44 @@ def test_condition_works_over_sanitized_rlock():
     assert not thread.is_alive()
 
 
+def test_thread_start_while_installed_does_not_recurse(lock_sanitizer):
+    # Regression: a starting thread fires its ``_started`` Event (a
+    # sanitized lock) *before* registering in ``threading._active``;
+    # the acquire hook must not call ``current_thread()`` there — the
+    # ``_DummyThread`` it builds constructs another sanitized Event and
+    # recurses forever, hanging ``Thread.start()``.
+    ran = []
+    thread = threading.Thread(target=lambda: ran.append(1))
+    thread.start()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    assert ran == [1]
+    assert lock_sanitizer.violations == []
+
+
+def test_condition_works_over_sanitized_plain_lock():
+    # Condition binds the RLock protocol hooks by hasattr; the wrapper
+    # always exposes them, so its non-reentrant branch must reproduce
+    # Condition's own plain-lock fallbacks.
+    sanitizer = LockSanitizer()
+    condition = threading.Condition(sanitizer.Lock("plain-cv"))
+    ready = []
+
+    def waiter():
+        with condition:
+            while not ready:
+                condition.wait(timeout=1.0)
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    with condition:
+        ready.append(1)
+        condition.notify()
+    thread.join(timeout=2.0)
+    assert not thread.is_alive()
+    assert sanitizer.violations == []
+
+
 def test_no_instrumentation_when_not_installed():
     # Production default: plain threading locks, zero sanitizer overhead.
     assert not isinstance(threading.Lock(), SanitizedLock)

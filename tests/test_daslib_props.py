@@ -2,7 +2,7 @@
 
 import numpy as np
 import scipy.signal as sps
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
@@ -32,12 +32,19 @@ def series(min_size=2, max_size=200):
     )
 
 
+def robust_norm(v):
+    """L2 norm as abscorr measures it: peak-rescaled, so it does not
+    underflow for denormal-magnitude windows the way ``sum(v**2)`` does."""
+    peak = float(np.max(np.abs(v)))
+    return peak * float(np.linalg.norm(v / peak)) if peak > 0 else 0.0
+
+
 class TestAbscorrProps:
     @settings(max_examples=100, deadline=None)
     @given(series(min_size=4))
     def test_self_correlation_is_one_or_zero(self, x):
         value = abscorr(x, x)
-        if np.linalg.norm(x) > 1e-290:  # above the dead-window epsilon
+        if robust_norm(x) > 1e-290:  # above the dead-window epsilon
             assert abs(value - 1.0) < 1e-9
         else:
             assert value == 0.0
@@ -46,6 +53,13 @@ class TestAbscorrProps:
     @given(series(min_size=4), st.floats(0.01, 100), st.floats(0.01, 100))
     def test_scale_invariance(self, x, a, b):
         y = np.roll(x, 1)
+        # scaling only commutes while every window stays clear of the
+        # dead-window cutoff (1e-290): a scale factor can legitimately
+        # push a barely-live window into silence
+        assume(
+            min(robust_norm(v) for v in (x, y, a * x, b * y)) > 1e-280
+            or max(robust_norm(v) for v in (x, y, a * x, b * y)) == 0.0
+        )
         v1 = abscorr(x, y)
         v2 = abscorr(a * x, b * y)
         assert abs(v1 - v2) < 1e-6

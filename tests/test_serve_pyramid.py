@@ -1,0 +1,246 @@
+"""Pyramid correctness: stored levels are bit-exact DecimateOp outputs.
+
+The contract under test (``repro.serve.pyramid`` + ``repro.hdf5lite.pyramid``):
+
+* every stored level ``k`` equals ``DecimateOp(factor**k)`` streamed
+  over the raw record with the builder's chunking — bit-for-bit (the
+  computation is deterministic), and within the repo's established
+  1e-9 of a single-chunk whole-record run under any other chunking
+  (``decimate_chunk`` convolves via FFT, whose rounding is
+  block-length-dependent — same tolerance the core streaming suite
+  uses for resample chains);
+* NaN gap columns in the raw record propagate into NaN (masked) preview
+  pixels: every pixel centred in the gap is NaN, and every pixel that
+  stays finite is bit-identical to the clean record's pixel;
+* the stored form round-trips through codecs + CRC sidecars and is
+  covered by ``das_inspect``-style ``describe``/``verify``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operators import DecimateOp
+from repro.core.optimizer import execute, optimize
+from repro.core.graph import Query
+from repro.errors import ConfigError, ServeError
+from repro.hdf5lite import File, pyramid_levels
+from repro.hdf5lite.inspect import describe, verify
+from repro.hdf5lite.pyramid import FACTOR_ATTR, PyramidLevel
+from repro.serve.pyramid import (
+    PyramidConfig,
+    build_pyramid,
+    compute_level,
+    level_slice,
+    select_level,
+)
+from repro.storage.chunks import ArraySource
+from repro.storage.dasfile import das_filename, write_das_file
+from repro.storage.metadata import DASMetadata, timestamp_add_seconds
+from repro.storage.vca import create_vca
+
+
+def whole_record_reference(data: np.ndarray, factor: int) -> np.ndarray:
+    """DecimateOp in one chunk covering the entire record."""
+    plan = optimize(
+        Query.scan(None).then(DecimateOp(factor)),
+        chunk_samples=data.shape[1],
+        verify=False,
+    )
+    (result,) = execute(plan, source=ArraySource(data))
+    return result.output
+
+
+def make_vca(root: str, n_channels=8, minutes=3, spm=600, fs=10.0, seed=7):
+    rng = np.random.default_rng(seed)
+    stamp = "170620100545"
+    paths = []
+    for _ in range(minutes):
+        block = rng.normal(size=(n_channels, spm)).astype(np.float32)
+        path = os.path.join(root, das_filename(stamp))
+        write_das_file(
+            path,
+            block,
+            DASMetadata(
+                sampling_frequency=fs,
+                spatial_resolution=2.0,
+                timestamp=stamp,
+                n_channels=n_channels,
+            ),
+            channel_groups=False,
+        )
+        paths.append(path)
+        stamp = timestamp_add_seconds(stamp, 60)
+    return create_vca(os.path.join(root, "arch.h5"), paths)
+
+
+# -- streamed == whole-record, swept ----------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_samples=st.integers(50, 400),
+    factor=st.integers(2, 5),
+    chunk=st.integers(16, 96),
+    seed=st.integers(0, 2**16),
+)
+def test_compute_level_matches_whole_record(n_samples, factor, chunk, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(3, n_samples))
+    streamed = compute_level(data, factor, chunk_samples=chunk)
+    assert streamed.shape == (3, -(-n_samples // factor))
+    # FFT convolution rounds per block length: chunked agrees with the
+    # whole-record run to the core suite's resample tolerance, and the
+    # computation itself is deterministic bit-for-bit.
+    np.testing.assert_allclose(
+        streamed, whole_record_reference(data, factor), rtol=0, atol=1e-9
+    )
+    np.testing.assert_array_equal(
+        streamed, compute_level(data, factor, chunk_samples=chunk)
+    )
+
+
+def test_ragged_tail_lengths():
+    # every residue class mod factor, so the last chunk and the last
+    # output sample hit each ragged configuration
+    for extra in range(4):
+        data = np.random.default_rng(extra).normal(size=(2, 96 + extra))
+        out = compute_level(data, 4, chunk_samples=25)
+        assert out.shape == (2, -(-(96 + extra) // 4))
+        np.testing.assert_allclose(
+            out, whole_record_reference(data, 4), rtol=0, atol=1e-9
+        )
+
+
+# -- NaN gaps → masked pixels ------------------------------------------------
+
+def test_nan_gap_columns_mask_preview_pixels():
+    rng = np.random.default_rng(3)
+    clean = rng.normal(size=(4, 800))
+    gapped = clean.copy()
+    g0, g1 = 300, 420
+    gapped[:, g0:g1] = np.nan
+    factor = 4
+    out_clean = compute_level(clean, factor, chunk_samples=128)
+    out_gapped = compute_level(gapped, factor, chunk_samples=128)
+
+    # every pixel centred inside the gap is NaN (masked in a Preview)
+    j_lo, j_hi = level_slice(factor, g0, g1)
+    assert not np.isfinite(out_gapped[:, j_lo:j_hi]).any()
+    # contamination is bounded: a pixel either went NaN or is untouched —
+    # finite pixels are bit-identical to the clean record's (the chunks
+    # that never read a gap sample saw identical input blocks)
+    finite = np.isfinite(out_gapped).all(axis=0)
+    assert finite.any() and not finite.all()
+    np.testing.assert_array_equal(
+        out_gapped[:, finite], out_clean[:, finite]
+    )
+    # pixels well clear of the gap (different chunks entirely) survive
+    assert finite[: max(1, (128 - 50) // factor)].all()
+    assert finite[-5:].all()
+
+
+# -- end-to-end stored pyramid ----------------------------------------------
+
+def test_build_pyramid_stored_levels_bit_exact(tmp_path):
+    vca = make_vca(str(tmp_path))
+    levels = build_pyramid(vca, PyramidConfig(factor=4, min_samples=32))
+    assert [lvl.factor for lvl in levels] == [4, 16]
+    with File(vca, "r") as f:
+        raw = np.asarray(f["VCA"][:, :], dtype=np.float64)
+        for lvl in levels:
+            stored = np.asarray(f[lvl.path][:, :], dtype=np.float64)
+            # this record fits one auto-sized chunk, so the build and the
+            # whole-record reference run the identical computation
+            np.testing.assert_array_equal(
+                stored, whole_record_reference(raw, lvl.factor)
+            )
+            assert lvl.codec == "delta-zlib:1"
+            assert lvl.base_samples == raw.shape[1]
+
+
+def test_build_pyramid_verify_and_describe(tmp_path):
+    vca = make_vca(str(tmp_path))
+    build_pyramid(vca, PyramidConfig(factor=4, min_samples=32))
+    with File(vca, "r") as f:
+        assert verify(f) == []
+        listing = describe(f)
+        assert "pyramid[level=1 factor=4]" in listing
+        assert "pyramid[level=2 factor=16]" in listing
+        assert pyramid_levels(f) == pyramid_levels(f)
+
+
+def test_verify_catches_tampered_factor(tmp_path):
+    vca = make_vca(str(tmp_path))
+    build_pyramid(vca, PyramidConfig(factor=4, min_samples=32))
+    with File(vca, "r+") as f:
+        f["pyramid/level1"].attrs[FACTOR_ATTR] = 8  # lies about the rate
+    with File(vca, "r") as f:
+        messages = [p.message for p in verify(f)]
+    assert any("base factor" in m for m in messages)
+    assert any("level length" in m for m in messages)
+
+
+def test_build_twice_rejected(tmp_path):
+    vca = make_vca(str(tmp_path))
+    build_pyramid(vca, PyramidConfig(factor=4, min_samples=32))
+    with pytest.raises(ServeError):
+        build_pyramid(vca, PyramidConfig(factor=4, min_samples=32))
+
+
+def test_too_short_record_rejected(tmp_path):
+    vca = make_vca(str(tmp_path), minutes=1, spm=60)
+    with pytest.raises(ServeError):
+        build_pyramid(vca, PyramidConfig(factor=4, min_samples=1000))
+
+
+# -- level selection ---------------------------------------------------------
+
+def _lvl(level: int, factor: int) -> PyramidLevel:
+    return PyramidLevel(
+        level=level,
+        factor=factor,
+        path=f"/pyramid/level{level}",
+        shape=(4, 1000),
+        dtype="float64",
+        codec=None,
+        base_samples=1000 * factor,
+        base_dataset="VCA",
+        fs=0.0,
+    )
+
+
+def test_select_level_picks_coarsest_fitting():
+    levels = [_lvl(1, 4), _lvl(2, 16), _lvl(3, 64)]
+    assert select_level(levels, span=64_000, width=100).factor == 64
+    # exactly one stored sample per pixel still fits
+    assert select_level(levels, span=6_400, width=100).factor == 64
+    assert select_level(levels, span=3_200, width=100).factor == 16
+    assert select_level(levels, span=800, width=100).factor == 4
+    # pixel pitch finer than the finest level: read raw
+    assert select_level(levels, span=300, width=100) is None
+    assert select_level([], span=10_000, width=100) is None
+
+
+def test_select_level_validates():
+    with pytest.raises(ConfigError):
+        select_level([], span=0, width=10)
+    with pytest.raises(ConfigError):
+        select_level([], span=100, width=0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    factor=st.integers(1, 64),
+    t0=st.integers(0, 5000),
+    span=st.integers(1, 5000),
+)
+def test_level_slice_matches_lattice_membership(factor, t0, span):
+    t1 = t0 + span
+    j0, j1 = level_slice(factor, t0, t1)
+    lattice = [j for j in range((t1 // factor) + 2) if t0 <= j * factor < t1]
+    assert (j0, j1) == ((lattice[0], lattice[-1] + 1) if lattice else (j0, j0))

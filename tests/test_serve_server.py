@@ -1,0 +1,269 @@
+"""DataServer/ServeSession: windows, previews, events, degraded reads.
+
+The contract under test (``repro.serve.server``):
+
+* ``read_window`` is bit-exact to slicing the raw record —
+  ``raw[lo:hi, t0:t1][:, ::step]`` — because the request lowers through
+  the planner onto a :class:`~repro.storage.chunks.WindowSource`;
+* ``preview`` served from a stored pyramid level is pixel-identical to
+  the raw-path computation when the pixel pitch aligns with the level's
+  factor (both emit on the absolute lattice ``j * factor``);
+* a vanished minute degrades, never errors: NaN spans in window data,
+  clipped :class:`~repro.storage.gaps.GapSpan` rows in the result, and
+  masked preview pixels;
+* every request admits first — quota rejections are the typed taxonomy
+  errors and land in the tenant's metrics.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.detection import DetectedEvent
+from repro.errors import QuotaExceededError, ServeError
+from repro.hdf5lite import File
+from repro.rt.events import EventSink, SeamEvent
+from repro.serve import (
+    DataServer,
+    PyramidConfig,
+    ServeConfig,
+    TenantQuota,
+    build_pyramid,
+    level_slice,
+)
+from repro.storage.dasfile import das_filename, write_das_file
+from repro.storage.metadata import DASMetadata, timestamp_add_seconds
+from repro.storage.vca import create_vca
+
+N_CHANNELS = 8
+MINUTES = 3
+SPM = 600  # samples per minute-file
+FS = 10.0
+
+
+def make_vca(root: str, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    stamp = "170620100545"
+    paths = []
+    for _ in range(MINUTES):
+        block = rng.normal(size=(N_CHANNELS, SPM)).astype(np.float32)
+        path = os.path.join(root, das_filename(stamp))
+        write_das_file(
+            path,
+            block,
+            DASMetadata(
+                sampling_frequency=FS,
+                spatial_resolution=2.0,
+                timestamp=stamp,
+                n_channels=N_CHANNELS,
+            ),
+            channel_groups=False,
+        )
+        paths.append(path)
+        stamp = timestamp_add_seconds(stamp, 60)
+    return create_vca(os.path.join(root, "arch.h5"), paths), paths
+
+
+@pytest.fixture()
+def archive(tmp_path):
+    vca, paths = make_vca(str(tmp_path))
+    build_pyramid(vca, PyramidConfig(factor=4, min_samples=32))
+    return vca, paths
+
+
+def raw_record(vca: str) -> np.ndarray:
+    with File(vca, "r") as f:
+        return np.asarray(f["VCA"][:, :], dtype=np.float64)
+
+
+# -- windows -----------------------------------------------------------------
+
+def test_read_window_bit_exact_vs_raw_slice(archive):
+    vca, _ = archive
+    raw = raw_record(vca)
+    with DataServer(vca) as server:
+        session = server.session("viewer")
+        for (t0, t1), channels, step in [
+            ((0, raw.shape[1]), None, 1),
+            ((100, 700), (2, 6), 3),
+            ((599, 601), (0, 1), 1),  # straddles a file seam
+            ((37, 1788), (1, 7), 7),
+        ]:
+            result = session.read_window(t0, t1, channels=channels, step=step)
+            lo, hi = channels if channels else (0, N_CHANNELS)
+            np.testing.assert_array_equal(
+                result.data, raw[lo:hi, t0:t1][:, ::step]
+            )
+            assert (result.t0, result.t1, result.step) == (t0, t1, step)
+            assert (result.channel_lo, result.channel_hi) == (lo, hi)
+            assert result.gaps == []
+            assert result.waited_s >= 0.0
+
+
+def test_read_window_validates(archive):
+    vca, _ = archive
+    with DataServer(vca) as server:
+        session = server.session("viewer")
+        with pytest.raises(ServeError):
+            session.read_window(-1, 10)
+        with pytest.raises(ServeError):
+            session.read_window(0, 10_000_000)
+        with pytest.raises(ServeError):
+            session.read_window(10, 10)
+        with pytest.raises(ServeError):
+            session.read_window(0, 10, channels=(5, 3))
+        with pytest.raises(ServeError):
+            session.read_window(0, 10, step=0)
+
+
+# -- previews ----------------------------------------------------------------
+
+def test_preview_pyramid_matches_raw_path_when_aligned(archive):
+    vca, _ = archive
+    n = raw_record(vca).shape[1]
+    with DataServer(vca) as server:
+        session = server.session("viewer")
+        width = n // 16  # pixel pitch == level-2 factor: paths align
+        via_pyramid = session.preview(0, n, width, channels=(1, 5))
+        assert via_pyramid.level == 2 and via_pyramid.factor == 16
+        via_raw = session.preview(
+            0, n, width, channels=(1, 5), use_pyramid=False
+        )
+        assert via_raw.level is None and via_raw.factor == 16
+        np.testing.assert_array_equal(via_pyramid.data, via_raw.data)
+        assert not via_pyramid.mask.any()
+        assert via_pyramid.data.shape == (4, -(-n // 16))
+
+
+def test_preview_full_width_is_the_raw_window(archive):
+    # pixel pitch 1: no level fits, no decimation — the preview *is* the
+    # raw window
+    vca, _ = archive
+    raw = raw_record(vca)
+    with DataServer(vca) as server:
+        preview = server.session("v").preview(200, 500, width=300)
+        assert preview.level is None and preview.factor == 1
+        np.testing.assert_array_equal(preview.data, raw[:, 200:500])
+
+
+def test_preview_validates_width(archive):
+    vca, _ = archive
+    with DataServer(vca) as server:
+        with pytest.raises(ServeError):
+            server.session("v").preview(0, 100, width=0)
+
+
+# -- degraded reads ----------------------------------------------------------
+
+def test_degraded_window_masks_and_reports_gaps(tmp_path):
+    vca, paths = make_vca(str(tmp_path))
+    os.remove(paths[1])  # the middle minute vanishes: samples [600, 1200)
+    with DataServer(vca) as server:
+        session = server.session("viewer")
+        result = session.read_window(0, 1800)
+        assert np.isnan(result.data[:, 600:1200]).all()
+        assert np.isfinite(result.data[:, :600]).all()
+        assert np.isfinite(result.data[:, 1200:]).all()
+        assert [(g.t0, g.t1) for g in result.gaps] == [(600, 1200)]
+
+        # a clipped view of the same gap
+        result = session.read_window(500, 700)
+        assert [(g.t0, g.t1) for g in result.gaps] == [(600, 700)]
+
+        # windows clear of the gap report none
+        assert session.read_window(0, 500).gaps == []
+
+
+def test_degraded_pyramid_preview_masks_gap_pixels(tmp_path):
+    vca, paths = make_vca(str(tmp_path))
+    os.remove(paths[1])
+    # build *through* the degraded source: NaN spans decimate into NaN
+    # pixels at every level (build_chunk small so the FFT's chunk-wide
+    # NaN contamination stays local to the gap's chunks)
+    build_pyramid(
+        vca,
+        PyramidConfig(factor=4, min_samples=32, build_chunk=128),
+        on_error="mask",
+    )
+    with DataServer(vca) as server:
+        preview = server.session("viewer").preview(0, 1800, width=1800 // 16)
+        assert preview.level == 2
+        j0, j1 = level_slice(16, 600, 1200)
+        assert preview.mask[:, j0:j1].all()  # gap-centred pixels masked
+        assert not preview.mask[:, :10].any()  # far from the gap: clean
+        assert not preview.mask[:, -10:].any()
+
+
+# -- events ------------------------------------------------------------------
+
+def _event(label: int, t_start: float, t_end: float) -> SeamEvent:
+    return SeamEvent(
+        event=DetectedEvent(
+            label=label,
+            kind="unclassified",
+            channel_lo=0,
+            channel_hi=3,
+            t_start=t_start,
+            t_end=t_end,
+            peak_similarity=0.9,
+            n_cells=12,
+            speed_channels_per_s=0.0,
+        ),
+        j_start=label * 100,
+        j_end=label * 100 + 5,
+    )
+
+
+def test_events_filtered_to_window(archive, tmp_path):
+    vca, _ = archive
+    log = tmp_path / "events.jsonl"
+    EventSink(str(log)).emit([_event(1, 5.0, 8.0), _event(2, 100.0, 110.0)])
+    with DataServer(vca, events_path=str(log)) as server:
+        session = server.session("viewer")
+        # raw samples / fs: [0, 500) is [0s, 50s) — only the first event
+        hits = session.events(0, 500)
+        assert [ev.event.label for ev in hits] == [1]
+        assert [ev.event.label for ev in session.events(0, 1800)] == [1, 2]
+        assert session.events(200, 500) == []  # [20s, 50s): between them
+
+
+def test_events_without_catalog_is_empty(archive):
+    vca, _ = archive
+    with DataServer(vca) as server:
+        assert server.session("viewer").events(0, 100) == []
+
+
+# -- admission integration ---------------------------------------------------
+
+def test_quota_rejection_is_typed_and_counted(archive):
+    vca, _ = archive
+    config = ServeConfig(
+        default_quota=TenantQuota(
+            requests_per_s=0.001, request_burst=1.0, max_queue=0
+        )
+    )
+    with DataServer(vca, config=config) as server:
+        session = server.session("tenant-a")
+        session.read_window(0, 100, wait=False)
+        with pytest.raises(QuotaExceededError) as err:
+            session.read_window(0, 100, wait=False)
+        assert err.value.tenant == "tenant-a"
+        metrics = session.metrics()
+        assert metrics["admitted"] == 1
+        assert metrics["rejected_quota"] == 1
+        assert metrics["latency"]["count"] == 1
+
+        # the other tenant's bucket is untouched
+        server.session("tenant-b").read_window(0, 100, wait=False)
+
+
+def test_closed_server_rejects_sessions(archive):
+    vca, _ = archive
+    server = DataServer(vca)
+    server.session("viewer").read_window(0, 10)
+    server.close()
+    with pytest.raises(ServeError):
+        server.session("late")
