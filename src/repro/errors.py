@@ -20,6 +20,9 @@ __all__ = [
     "ServeError",
     "QuotaExceededError",
     "AdmissionQueueFullError",
+    "CheckpointCorruptError",
+    "InjectedFaultError",
+    "StaleReadError",
 ]
 
 
@@ -74,6 +77,48 @@ class DegradedReadError(StorageError):
         self.reason = reason
         at = f" at offset {offset}" if offset is not None else ""
         super().__init__(f"{self.path}: degraded read ({reason}){at}")
+
+
+class CheckpointCorruptError(StorageError):
+    """Raised (or recorded) when a checkpoint file fails to parse or its
+    payload checksum does not match — a torn write or on-disk corruption.
+
+    ``path`` names the failing checkpoint file, ``reason`` the short
+    cause (``"torn json"``, ``"crc mismatch"``, ``"bad version"``).  A
+    :class:`~repro.rt.checkpoint.CheckpointStore` with a valid previous
+    generation *records* this error and falls back; it raises only when
+    no valid generation remains.
+    """
+
+    def __init__(self, path: str, reason: str = "corrupt checkpoint"):
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(f"{self.path}: {reason}")
+
+
+class InjectedFaultError(ReproError):
+    """Raised by the chaos harness to simulate a process crash at a
+    seeded point (kill-at-Nth-file and friends).  Deliberately a direct
+    :class:`ReproError` subclass so supervision code can recognise an
+    injected death without confusing it with real storage loss."""
+
+
+class StaleReadError(ReproError):
+    """Raised by a bounded-staleness catalog read when some live shard's
+    contribution is older than the caller's staleness bound.
+
+    ``stale_shards`` maps shard id → seconds since that shard's last
+    applied update; ``bound_s`` is the bound that was violated.
+    """
+
+    def __init__(self, stale_shards: "dict[int, float]", bound_s: float):
+        self.stale_shards = dict(stale_shards)
+        self.bound_s = float(bound_s)
+        worst = max(self.stale_shards.values(), default=0.0)
+        super().__init__(
+            f"catalog read exceeds staleness bound {self.bound_s:.3f}s: "
+            f"shards {sorted(self.stale_shards)} up to {worst:.3f}s stale"
+        )
 
 
 class MPIError(ReproError):

@@ -9,8 +9,21 @@ Two halves:
   collect-and-continue, bounded retries, per-task timeout) and the
   shared :func:`retry_call` bounded-retry-with-backoff helper threaded
   through ``apply_mt``, ``StreamPipeline``, and the parallel readers.
+* :mod:`repro.faults.chaos` — shard-level chaos: seeded
+  :class:`ChaosSchedule` kill/hang/torn-checkpoint/spool-vanish
+  actions plus the generic file/directory damage helpers, interpreted
+  by ``repro.rt.shard``'s supervision loop.
 """
 
+from repro.faults.chaos import (
+    SHARD_FAULT_KINDS,
+    ChaosAction,
+    ChaosSchedule,
+    flip_text_byte,
+    restore_dir,
+    tear_file,
+    vanish_dir,
+)
 from repro.faults.inject import (
     FaultInjector,
     clear_read_faults,
@@ -27,4 +40,11 @@ __all__ = [
     "install_read_fault",
     "clear_read_faults",
     "read_faults",
+    "SHARD_FAULT_KINDS",
+    "ChaosAction",
+    "ChaosSchedule",
+    "flip_text_byte",
+    "restore_dir",
+    "tear_file",
+    "vanish_dir",
 ]

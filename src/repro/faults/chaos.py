@@ -1,0 +1,185 @@
+"""Shard-level chaos actions and seeded kill/restart schedules.
+
+:mod:`repro.faults.inject` manufactures *storage* faults (bad bytes in
+data files).  This module adds the *process/topology* faults a sharded
+real-time deployment must survive: a shard killed mid-stream, a shard
+hanging long enough to trip its heartbeat, a checkpoint write torn
+mid-rename, and a spool volume vanishing and reappearing.
+
+The module is deliberately rank-agnostic: an action names a *shard
+index* and a *trigger point* (the Nth ingested file), and generic
+file/directory helpers do the on-disk damage.  The interpretation —
+raising :class:`~repro.errors.InjectedFaultError` inside the shard
+loop, suppressing heartbeats, restarting from checkpoint — lives in
+``repro.rt.shard``, which sits above this layer.  Everything is seeded:
+the same :class:`ChaosSchedule` seed over the same topology produces
+the same actions at the same trigger points.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "SHARD_FAULT_KINDS",
+    "ChaosAction",
+    "ChaosSchedule",
+    "tear_file",
+    "flip_text_byte",
+    "vanish_dir",
+    "restore_dir",
+]
+
+#: The shard-level fault matrix.  ``kill-at-file`` crashes the shard
+#: right after its Nth ingested file; ``hang`` stops the shard making
+#: progress (and heartbeating) until it is restarted; ``torn-checkpoint``
+#: crashes *and* tears the primary checkpoint file so recovery must fall
+#: back to the previous generation; ``spool-vanish`` unmounts the
+#: shard's spool for a while and then brings it back.
+SHARD_FAULT_KINDS = ("kill-at-file", "hang", "torn-checkpoint", "spool-vanish")
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One scheduled fault: ``kind`` from :data:`SHARD_FAULT_KINDS`,
+    aimed at ``shard``, triggering after that shard's ``at_file``-th
+    ingested file (1-based).
+
+    ``down_ticks`` bounds how long a ``hang`` / ``spool-vanish`` outage
+    lasts (in shard poll ticks); ``keep_fraction`` is how much of the
+    checkpoint file a ``torn-checkpoint`` leaves behind.
+    """
+
+    kind: str
+    shard: int
+    at_file: int
+    down_ticks: int = 3
+    keep_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in SHARD_FAULT_KINDS:
+            raise ConfigError(
+                f"unknown shard fault kind {self.kind!r}; "
+                f"known: {SHARD_FAULT_KINDS}"
+            )
+        if self.shard < 0:
+            raise ConfigError("shard index must be >= 0")
+        if self.at_file < 1:
+            raise ConfigError("at_file is 1-based: must be >= 1")
+        if self.down_ticks < 1:
+            raise ConfigError("down_ticks must be >= 1")
+        if not 0 <= self.keep_fraction < 1:
+            raise ConfigError("keep_fraction must be in [0, 1)")
+
+
+@dataclass
+class ChaosSchedule:
+    """A seeded set of :class:`ChaosAction`\\ s for one chaos run.
+
+    :meth:`generate` draws victims and trigger points deterministically
+    from the seed, so a failing run is replayable from its logged seed
+    alone.  :meth:`for_shard` is what a shard runtime consults.
+    """
+
+    actions: list[ChaosAction] = field(default_factory=list)
+    seed: int = 0
+
+    @classmethod
+    def single(cls, kind: str, shard: int, at_file: int, **kwargs) -> "ChaosSchedule":
+        """The one-fault schedule used by the smoke test."""
+        return cls(actions=[ChaosAction(kind, shard, at_file, **kwargs)])
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        n_shards: int,
+        files_per_shard: int,
+        kinds: tuple[str, ...] = SHARD_FAULT_KINDS,
+        n_actions: int = 1,
+    ) -> "ChaosSchedule":
+        """Draw ``n_actions`` faults — at most one per shard, each at a
+        seeded trigger point strictly inside the shard's file stream (so
+        there is always work left to recover)."""
+        if n_shards < 1:
+            raise ConfigError("n_shards must be >= 1")
+        if files_per_shard < 2:
+            raise ConfigError("need >= 2 files per shard to trigger mid-stream")
+        if not 1 <= n_actions <= n_shards:
+            raise ConfigError("n_actions must be in [1, n_shards]")
+        for kind in kinds:
+            if kind not in SHARD_FAULT_KINDS:
+                raise ConfigError(f"unknown shard fault kind {kind!r}")
+        rng = random.Random(int(seed))
+        victims = rng.sample(range(n_shards), n_actions)
+        actions = [
+            ChaosAction(
+                kind=rng.choice(list(kinds)),
+                shard=shard,
+                at_file=rng.randrange(1, files_per_shard),
+            )
+            for shard in victims
+        ]
+        return cls(actions=actions, seed=int(seed))
+
+    def for_shard(self, shard: int) -> list[ChaosAction]:
+        return [a for a in self.actions if a.shard == shard]
+
+
+# ---------------------------------------------------------------------------
+# on-disk helpers (generic files/directories, not hdf5lite data regions)
+# ---------------------------------------------------------------------------
+
+def tear_file(path: str | os.PathLike, keep_fraction: float = 0.5) -> int:
+    """Truncate ``path`` to a fraction of its bytes — a write torn
+    mid-rename (the temp file was promoted but never fully flushed, or
+    the disk lied about durability).  Returns the new size."""
+    if not 0 <= keep_fraction < 1:
+        raise ConfigError("keep_fraction must be in [0, 1)")
+    path = os.fspath(path)
+    size = os.path.getsize(path)
+    new_size = int(size * keep_fraction)
+    with open(path, "r+b") as handle:
+        handle.truncate(new_size)
+    return new_size
+
+
+def flip_text_byte(path: str | os.PathLike, seed: int = 0) -> int:
+    """Flip one bit of one seeded byte of a text file (a JSON document
+    that still parses — or doesn't — but no longer checksums).  Returns
+    the byte offset flipped."""
+    path = os.fspath(path)
+    size = os.path.getsize(path)
+    if size < 1:
+        raise ConfigError(f"{path}: empty file, nothing to corrupt")
+    rng = random.Random(int(seed))
+    offset = rng.randrange(size)
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([byte ^ (1 << rng.randrange(8))]))
+    return offset
+
+
+VANISHED_SUFFIX = ".vanished"
+
+
+def vanish_dir(path: str | os.PathLike) -> str:
+    """Atomically hide a directory (an unmounted / disconnected spool
+    volume); returns the hidden location for :func:`restore_dir`."""
+    path = os.fspath(path)
+    hidden = path.rstrip(os.sep) + VANISHED_SUFFIX
+    os.rename(path, hidden)
+    return hidden
+
+
+def restore_dir(path: str | os.PathLike) -> None:
+    """Bring a vanished directory back under its original name."""
+    path = os.fspath(path)
+    hidden = path.rstrip(os.sep) + VANISHED_SUFFIX
+    os.rename(hidden, path)

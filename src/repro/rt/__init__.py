@@ -17,7 +17,14 @@ long-running service:
   kill-and-resume with no missed or duplicated events;
 * :mod:`repro.rt.metrics` — per-stage latency, queue depth, ingest lag;
 * :mod:`repro.rt.service` / :mod:`repro.rt.cli` — the service loop and
-  ``python -m repro.rt watch <spool>``.
+  ``python -m repro.rt watch <spool>``;
+* :mod:`repro.rt.shard` / :mod:`repro.rt.supervisor` — the sharded
+  multi-interrogator deployment: one RTService per spool on its own
+  ``simmpi`` rank, heartbeat-based failure detection with automatic
+  checkpoint-resume restarts, and an idempotent merged catalog with
+  bounded-staleness reads (``watch --shards N``);
+* :mod:`repro.rt.scaling` — shard-count → throughput/p95 projection on
+  the ``cluster`` machine model (the paper's 1456-node regime).
 """
 
 from repro.rt.checkpoint import CheckpointStore, read_sample_range
@@ -30,8 +37,19 @@ from repro.rt.events import (
 )
 from repro.rt.ingest import PendingFile, Quarantine, SpoolWatcher, WorkQueue
 from repro.rt.metrics import LatencyStats, RTMetrics
+from repro.rt.scaling import ShardScalingPoint, project_shard_scaling
 from repro.rt.scheduler import DetectorConfig, SeamScheduler
 from repro.rt.service import RTService, ServiceConfig
+from repro.rt.shard import ShardOptions, ShardRuntime, ShardSpec, shard_main
+from repro.rt.supervisor import (
+    CatalogAggregator,
+    HeartbeatConfig,
+    HeartbeatMonitor,
+    SupervisorConfig,
+    catalog_signature,
+    run_sharded,
+    supervisor_main,
+)
 
 __all__ = [
     "CheckpointStore",
@@ -51,4 +69,17 @@ __all__ = [
     "SeamScheduler",
     "RTService",
     "ServiceConfig",
+    "ShardOptions",
+    "ShardRuntime",
+    "ShardSpec",
+    "shard_main",
+    "CatalogAggregator",
+    "HeartbeatConfig",
+    "HeartbeatMonitor",
+    "SupervisorConfig",
+    "catalog_signature",
+    "run_sharded",
+    "supervisor_main",
+    "ShardScalingPoint",
+    "project_shard_scaling",
 ]

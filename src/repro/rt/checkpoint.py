@@ -1,4 +1,4 @@
-"""Atomic JSON checkpoints for kill-and-resume.
+"""Crash-consistent JSON checkpoints for kill-and-resume.
 
 A checkpoint is one JSON document: the list of fully-processed files
 (with their sample counts), the seam scheduler's carried state (tail
@@ -7,62 +7,141 @@ are re-read from the durable acquisition files on resume), the open
 event run, and the queue position.  Writes go through a temp file and
 ``os.replace`` so a kill mid-write leaves the previous checkpoint
 intact, never a torn one.
+
+Two defences make a *corrupted* checkpoint recoverable rather than
+fatal:
+
+* every document carries a CRC32 of its canonical payload, so a torn
+  or bit-flipped file is *detected* (truncation breaks the JSON, a
+  parseable mutation breaks the CRC) — never silently resumed from;
+* :meth:`CheckpointStore.save` keeps the previous generation as
+  ``<path>.prev`` before promoting the new one, so detection has
+  somewhere to fall back to.  The fallback is reported through
+  :attr:`CheckpointStore.last_error` (a typed
+  :class:`~repro.errors.CheckpointCorruptError`); only when *no*
+  generation verifies does :meth:`load` raise.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 
 import numpy as np
 
-from repro.errors import ReproError, StorageError
+from repro.errors import CheckpointCorruptError, ReproError, StorageError
 from repro.faults.policy import retry_call
 from repro.storage.dasfile import DASFile
 from repro.storage.gaps import GapMap
 
 CHECKPOINT_VERSION = 1
 CHECKPOINT_NAME = ".das_rt_checkpoint.json"
+PREVIOUS_SUFFIX = ".prev"
+
+
+def _document_crc(document: dict) -> int:
+    """CRC32 of the canonical (sorted-key, crc-free) JSON encoding."""
+    body = {k: v for k, v in document.items() if k != "crc"}
+    return zlib.crc32(json.dumps(body, sort_keys=True).encode("utf-8"))
 
 
 class CheckpointStore:
-    """Load/save/clear one atomic JSON checkpoint file."""
+    """Load/save/clear one double-generation atomic checkpoint file."""
 
     def __init__(self, path: str):
         self.path = os.fspath(path)
+        self.previous_path = self.path + PREVIOUS_SUFFIX
+        #: Typed error recorded when :meth:`load` had to skip a corrupt
+        #: generation (``None`` after a clean load).
+        self.last_error: CheckpointCorruptError | None = None
+        #: Which generation the last :meth:`load` returned:
+        #: ``"primary"``, ``"previous"``, or ``None``.
+        self.loaded_from: str | None = None
 
     def exists(self) -> bool:
         return os.path.exists(self.path)
 
     def save(self, payload: dict) -> None:
-        """Atomically persist ``payload`` (version stamp added here)."""
+        """Atomically persist ``payload`` (version + CRC stamped here),
+        demoting the current checkpoint to the ``.prev`` generation.
+
+        A kill at any point leaves at least one verifiable generation on
+        disk: the temp file is fsynced before any rename, and the demote
+        happens before the promote — a crash between the two renames
+        loses only the *newest* state, never both.
+        """
         document = {"version": CHECKPOINT_VERSION}
         document.update(payload)
+        document["crc"] = _document_crc(document)
         tmp = self.path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(document, handle)
             handle.flush()
             os.fsync(handle.fileno())
+        if os.path.exists(self.path):
+            os.replace(self.path, self.previous_path)
         os.replace(tmp, self.path)
 
-    def load(self) -> dict | None:
-        """The last checkpoint, or ``None`` when none was ever taken."""
-        if not os.path.exists(self.path):
-            return None
+    def _read_document(self, path: str) -> dict:
+        """Parse + verify one generation; raises the typed error."""
         try:
-            with open(self.path, encoding="utf-8") as handle:
-                payload = json.load(handle)
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
         except (OSError, json.JSONDecodeError) as exc:
-            raise StorageError(f"unreadable checkpoint {self.path}: {exc}")
-        if payload.get("version") != CHECKPOINT_VERSION:
-            raise StorageError(
-                f"checkpoint version {payload.get('version')!r} unsupported"
+            raise CheckpointCorruptError(path, f"torn json: {exc}")
+        if not isinstance(document, dict):
+            raise CheckpointCorruptError(path, "not a json object")
+        if document.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointCorruptError(
+                path, f"version {document.get('version')!r} unsupported"
             )
-        return payload
+        # Documents written before the CRC existed load unverified.
+        if "crc" in document and document["crc"] != _document_crc(document):
+            raise CheckpointCorruptError(path, "crc mismatch")
+        return document
+
+    def load(self) -> dict | None:
+        """The newest *verifiable* checkpoint, or ``None`` when none was
+        ever taken.
+
+        A corrupt primary falls back to the ``.prev`` generation with
+        the typed failure kept in :attr:`last_error` — resuming from the
+        previous checkpoint replays work, which the event sink's dedup
+        absorbs; resuming from a *wrong* checkpoint would corrupt the
+        catalog, which is why an unverifiable generation is never used.
+        Raises :class:`~repro.errors.CheckpointCorruptError` only when a
+        checkpoint exists but no generation verifies.
+        """
+        self.last_error = None
+        self.loaded_from = None
+        primary_error: CheckpointCorruptError | None = None
+        if os.path.exists(self.path):
+            try:
+                document = self._read_document(self.path)
+                self.loaded_from = "primary"
+                return document
+            except CheckpointCorruptError as exc:
+                primary_error = exc
+        if os.path.exists(self.previous_path):
+            document = self._read_document(self.previous_path)  # may raise
+            self.last_error = (
+                primary_error
+                if primary_error is not None
+                else CheckpointCorruptError(
+                    self.path, "primary checkpoint missing (torn promote)"
+                )
+            )
+            self.loaded_from = "previous"
+            return document
+        if primary_error is not None:
+            raise primary_error
+        return None
 
     def clear(self) -> None:
-        if os.path.exists(self.path):
-            os.remove(self.path)
+        for path in (self.path, self.previous_path):
+            if os.path.exists(path):
+                os.remove(path)
 
 
 def read_sample_range(

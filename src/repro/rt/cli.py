@@ -2,8 +2,12 @@
 
 ``watch`` runs the service loop over a spool directory until SIGTERM /
 SIGINT (checkpointing on the way out, so the next ``watch`` resumes) or,
-with ``--drain``, until the spool is quiet; ``status`` prints the event
-log and quarantine of a spool without running anything.
+with ``--drain``, until the spool is quiet; ``watch --shards N`` runs
+the supervised sharded deployment over ``<root>/shard-<i>``
+subdirectories (one interrogator spool each) and prints the merged
+catalog summary; ``status`` prints the event log and quarantine of a
+spool — plus per-shard health when a supervisor has written its health
+file there — without running anything.
 """
 
 from __future__ import annotations
@@ -15,11 +19,13 @@ import signal
 import sys
 
 from repro.core.local_similarity import LocalSimilarityConfig
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.rt.events import EventPolicy, EventSink
 from repro.rt.ingest import Quarantine
 from repro.rt.scheduler import DETECTORS, DetectorConfig
 from repro.rt.service import EVENTS_NAME, RTService, ServiceConfig
+from repro.rt.shard import ShardOptions, ShardSpec
+from repro.rt.supervisor import HEALTH_NAME, SupervisorConfig, run_sharded
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +87,27 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--threshold", type=float, default=0.5)
     watch.add_argument("--min-fraction", type=float, default=0.3)
     watch.add_argument("--quiet", action="store_true")
+    watch.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run N supervised shards over <spool>/shard-<i> "
+        "subdirectories and merge their catalogs (drain semantics)",
+    )
+    watch.add_argument(
+        "--channel-stride",
+        type=int,
+        default=0,
+        help="channel offset between consecutive shards' interrogators "
+        "(rebases merged events; 0 = no rebase)",
+    )
+    watch.add_argument(
+        "--health",
+        default=None,
+        help="supervisor health file path "
+        f"(default <spool>/{HEALTH_NAME})",
+    )
 
     status = sub.add_parser("status", help="inspect a spool's log/quarantine")
     status.add_argument("spool")
@@ -88,8 +115,8 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _service_from_args(args: argparse.Namespace) -> RTService:
-    detector = DetectorConfig(
+def _detector_from_args(args: argparse.Namespace) -> DetectorConfig:
+    return DetectorConfig(
         detector=args.detector,
         band=None if args.no_band else tuple(args.band),
         similarity=LocalSimilarityConfig(
@@ -101,10 +128,16 @@ def _service_from_args(args: argparse.Namespace) -> RTService:
         nsta=args.nsta,
         nlta=args.nlta,
     )
-    policy = EventPolicy(
+
+
+def _policy_from_args(args: argparse.Namespace) -> EventPolicy:
+    return EventPolicy(
         threshold=args.threshold, min_fraction=args.min_fraction
     )
-    config = ServiceConfig(
+
+
+def _config_from_args(args: argparse.Namespace) -> ServiceConfig:
+    return ServiceConfig(
         poll_interval=args.poll,
         settle_seconds=args.settle,
         stable_polls=args.stable_polls,
@@ -112,6 +145,12 @@ def _service_from_args(args: argparse.Namespace) -> RTService:
         max_retries=args.max_retries,
         checkpoint_every=args.checkpoint_every,
     )
+
+
+def _service_from_args(args: argparse.Namespace) -> RTService:
+    detector = _detector_from_args(args)
+    policy = _policy_from_args(args)
+    config = _config_from_args(args)
     on_event = None
     if not args.quiet:
 
@@ -135,7 +174,70 @@ def _service_from_args(args: argparse.Namespace) -> RTService:
     )
 
 
+def cmd_watch_sharded(args: argparse.Namespace) -> int:
+    """Supervised sharded drain over ``<spool>/shard-<i>`` directories.
+
+    Each shard gets its own simmpi rank, heartbeat supervision, and
+    checkpoint-resume restarts; durable state lives under
+    ``<spool>/state/shard-<i>`` so a vanished interrogator volume
+    cannot take its recovery state with it.
+    """
+    if args.shards < 1:
+        raise ConfigError("--shards must be >= 1")
+    specs = []
+    for shard in range(args.shards):
+        spool = os.path.join(args.spool, f"shard-{shard}")
+        if not os.path.isdir(spool):
+            raise ConfigError(f"shard spool missing: {spool}")
+        expected = len(
+            [n for n in os.listdir(spool) if n.endswith((".h5", ".hdf5"))]
+        )
+        specs.append(
+            ShardSpec(
+                shard_id=shard,
+                spool=spool,
+                state_dir=os.path.join(
+                    args.spool, "state", f"shard-{shard}"
+                ),
+                channel_base=shard * args.channel_stride,
+                expected_files=expected,
+            )
+        )
+    options = ShardOptions(
+        detector=_detector_from_args(args),
+        event_policy=_policy_from_args(args),
+        service_config=_config_from_args(args),
+    )
+    health_path = args.health or os.path.join(args.spool, HEALTH_NAME)
+    result = run_sharded(
+        specs,
+        options=options,
+        supervisor=SupervisorConfig(),
+        health_path=health_path,
+    )
+    summary = {
+        "shards": args.shards,
+        "events": result["events"],
+        "duplicates_dropped": result["duplicates"],
+        "restarts": result["restarts"],
+        "health": health_path,
+        "per_shard": {
+            str(shard): {
+                "ingested": shard_result["ingested"],
+                "events": shard_result["events"],
+                "restarts": shard_result["restarts"],
+            }
+            for shard, shard_result in result["shard_results"].items()
+        },
+    }
+    if not args.quiet:
+        print(json.dumps(summary, indent=2))
+    return 0
+
+
 def cmd_watch(args: argparse.Namespace) -> int:
+    if args.shards is not None:
+        return cmd_watch_sharded(args)
     service = _service_from_args(args)
     stopping = {"flag": False}
 
@@ -176,17 +278,26 @@ def cmd_status(args: argparse.Namespace) -> int:
     sink = EventSink(events_path)
     events = sink.load()
     quarantine = Quarantine(args.spool)
-    print(
-        json.dumps(
-            {
-                "spool": args.spool,
-                "events": len(events),
-                "kinds": sorted({e.event.kind for e in events}),
-                "quarantined": sorted(quarantine.reasons),
-            },
-            indent=2,
-        )
-    )
+    report = {
+        "spool": args.spool,
+        "events": len(events),
+        "kinds": sorted({e.event.kind for e in events}),
+        "quarantined": sorted(quarantine.reasons),
+    }
+    health_path = os.path.join(args.spool, HEALTH_NAME)
+    if os.path.exists(health_path):
+        with open(health_path, encoding="utf-8") as handle:
+            health = json.load(handle)
+        report["shards"] = {
+            shard: {
+                "state": info["state"],
+                "ingested": info.get("ingested", 0),
+                "events": info.get("events", 0),
+                "restarts": info.get("restarts", 0),
+            }
+            for shard, info in sorted(health.get("shards", {}).items())
+        }
+    print(json.dumps(report, indent=2))
     return 0
 
 

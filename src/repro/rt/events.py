@@ -88,6 +88,26 @@ class SeamEvent:
         payload.pop("record", None)
         return cls(DetectedEvent(**payload), j_start, j_end)
 
+    def rebased(self, channel_offset: int) -> "SeamEvent":
+        """The same event with its channel span shifted into a global
+        frame — a shard that owns channels ``[base, base+n)`` detects in
+        local coordinates and rebases by ``base`` before publishing to
+        the merged catalog."""
+        if not channel_offset:
+            return self
+        moved = DetectedEvent(
+            label=self.event.label,
+            kind=self.event.kind,
+            channel_lo=self.event.channel_lo + int(channel_offset),
+            channel_hi=self.event.channel_hi + int(channel_offset),
+            t_start=self.event.t_start,
+            t_end=self.event.t_end,
+            peak_similarity=self.event.peak_similarity,
+            n_cells=self.event.n_cells,
+            speed_channels_per_s=self.event.speed_channels_per_s,
+        )
+        return SeamEvent(moved, self.j_start, self.j_end)
+
 
 class EventAssembler:
     """Streaming run-length event assembly with exact batch equivalence.
@@ -318,12 +338,21 @@ class EventSink:
 
     def load(self) -> list[SeamEvent]:
         """Read the full log back as :class:`SeamEvent` rows."""
-        events: list[SeamEvent] = []
+        return [event for _, event in self.load_records()]
+
+    def load_records(self) -> list[tuple[str, SeamEvent]]:
+        """Read the full log back as ``(record, event)`` rows — the
+        record is part of the cross-shard idempotency key, so a shard
+        replaying its log to the aggregator must keep it."""
+        rows: list[tuple[str, SeamEvent]] = []
         if not os.path.exists(self.path):
-            return events
+            return rows
         with open(self.path, encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
                 if line:
-                    events.append(SeamEvent.from_json(json.loads(line)))
-        return events
+                    entry = json.loads(line)
+                    rows.append(
+                        (str(entry.get("record", "")), SeamEvent.from_json(entry))
+                    )
+        return rows

@@ -170,11 +170,18 @@ class Quarantine:
     quarantined names are loaded back on restart so a poison file is
     never retried across runs.  Entries written before the structured
     ``error`` field existed load fine — the field is optional on read.
+
+    ``state_dir`` relocates the JSONL out of the spool (sharded
+    deployments keep durable state on a separate volume so a vanished
+    spool cannot take the quarantine record with it);
+    :attr:`directory` stays the spool so :meth:`paths` still names the
+    condemned files where they live.
     """
 
-    def __init__(self, directory: str):
+    def __init__(self, directory: str, state_dir: str | None = None):
         self.directory = os.fspath(directory)
-        self.path = os.path.join(self.directory, QUARANTINE_NAME)
+        base = os.fspath(state_dir) if state_dir is not None else self.directory
+        self.path = os.path.join(base, QUARANTINE_NAME)
         self._lock = threading.Lock()
         self.reasons: dict[str, str] = {}  # guarded-by: _lock
         self.errors: dict[str, dict | None] = {}  # guarded-by: _lock

@@ -23,7 +23,7 @@ import os
 import time
 from dataclasses import dataclass
 
-from repro.errors import ConfigError, ReproError
+from repro.errors import CheckpointCorruptError, ConfigError, ReproError
 from repro.rt.checkpoint import CHECKPOINT_NAME, CheckpointStore, read_sample_range
 from repro.rt.events import EventAssembler, EventPolicy, EventSink
 from repro.rt.ingest import Quarantine, SpoolWatcher, WorkQueue
@@ -73,13 +73,23 @@ class RTService:
         checkpoint_path: str | None = None,
         clock=time.time,
         on_event=None,
+        state_dir: str | None = None,
+        on_file=None,
     ):
         self.spool = os.fspath(spool)
+        # Durable state (events log, checkpoint, quarantine) defaults to
+        # living inside the spool; a sharded deployment points it at a
+        # separate directory so a vanished/remounted spool cannot take
+        # the recovery state down with it.
+        self.state_dir = (
+            os.fspath(state_dir) if state_dir is not None else self.spool
+        )
         self.detector = detector if detector is not None else DetectorConfig()
         self.policy = policy if policy is not None else EventPolicy()
         self.config = config if config is not None else ServiceConfig()
         self.clock = clock
         self.on_event = on_event
+        self.on_file = on_file
         self.metrics = RTMetrics()
         self.watcher = SpoolWatcher(
             self.spool,
@@ -88,30 +98,45 @@ class RTService:
             clock=clock,
         )
         self.queue = WorkQueue(self.config.queue_capacity)
-        self.quarantine = Quarantine(self.spool)
+        self.quarantine = Quarantine(self.spool, state_dir=self.state_dir)
         self.scheduler = SeamScheduler(self.detector)
         self.sink = EventSink(
             events_path
             if events_path is not None
-            else os.path.join(self.spool, EVENTS_NAME)
+            else os.path.join(self.state_dir, EVENTS_NAME)
         )
         self.checkpoints = CheckpointStore(
             checkpoint_path
             if checkpoint_path is not None
-            else os.path.join(self.spool, CHECKPOINT_NAME)
+            else os.path.join(self.state_dir, CHECKPOINT_NAME)
         )
         self.assembler: EventAssembler | None = None
         self.files_done: list[tuple[str, int]] = []
+        self.files_seen: set[str] = set()
         self._attempts: dict[str, int] = {}
         self._overflow: list[str] = []
         self._record: str = ""  # base timestamp naming the current record
         self._expected_stamp: str | None = None
         self._since_checkpoint = 0
         self.resume_error: str | None = None
+        self.checkpoint_fallback: str | None = None
         self.catalog: Catalog | None = None
         self.watcher.mark_known(self.quarantine.paths())
-        payload = self.checkpoints.load()
+        try:
+            payload = self.checkpoints.load()
+        except CheckpointCorruptError as exc:
+            # No verifiable checkpoint generation at all.  Resuming from
+            # bytes we cannot trust could corrupt the catalog silently;
+            # starting from scratch merely replays work the event sink's
+            # dedup absorbs.  The typed failure is surfaced, not hidden.
+            self.checkpoint_fallback = str(exc)
+            payload = None
         if payload is not None:
+            if self.checkpoints.last_error is not None:
+                # Primary checkpoint was torn/corrupt; we resumed from
+                # the previous generation.  Replayed work dedups in the
+                # sink, but the degradation is surfaced for supervision.
+                self.checkpoint_fallback = str(self.checkpoints.last_error)
             self._resume(payload)
 
     # -- resume -------------------------------------------------------------
@@ -128,12 +153,18 @@ class RTService:
         self.files_done = [
             (str(name), int(n)) for name, n in payload.get("files_done", [])
         ]
+        # files_seen outlives record finalisation (files_done is cleared
+        # when a record ends) — it is what keeps finalised-record files
+        # from being re-announced after a restart.  Older checkpoints
+        # without the field fall back to files_done.
+        self.files_seen = {str(name) for name in payload.get("files_seen", [])}
+        self.files_seen.update(name for name, _ in self.files_done)
         self._record = str(payload.get("record", ""))
         self._expected_stamp = payload.get("expected_stamp")
         self._attempts = {
             str(name): int(n) for name, n in payload.get("attempts", {}).items()
         }
-        self.watcher.mark_known(self._done_paths())
+        self.watcher.mark_known(self._seen_paths())
         runner_state = payload.get("runner")
         if runner_state is not None:
             lo = int(runner_state["buf_start"])
@@ -161,6 +192,9 @@ class RTService:
 
     def _done_paths(self) -> list[str]:
         return [os.path.join(self.spool, name) for name, _ in self.files_done]
+
+    def _seen_paths(self) -> list[str]:
+        return [os.path.join(self.spool, name) for name in self.files_seen]
 
     def _file_spans(self) -> list[tuple[str, int]]:
         return [
@@ -301,6 +335,7 @@ class RTService:
                 stamp, n_samples / meta.sampling_frequency
             )
         self.files_done.append((os.path.basename(path), int(n_samples)))
+        self.files_seen.add(os.path.basename(path))
         self._attempts.pop(path, None)
         self.metrics.files_ingested += 1
         self.metrics.samples_in += int(n_samples)
@@ -308,6 +343,12 @@ class RTService:
         self.metrics.stage("total").record(self.metrics.clock() - t0)
         if self.config.update_catalog:
             self._refresh_catalog()
+        if self.on_file is not None:
+            # Chaos hook: fires after the file is fully consumed but
+            # (possibly) before the next checkpoint — it may raise
+            # InjectedFaultError to simulate a crash at exactly this
+            # point, which propagates out of tick() like a real death.
+            self.on_file(path)
         return True
 
     def _refresh_catalog(self) -> None:
@@ -395,6 +436,7 @@ class RTService:
             return
         payload = {
             "files_done": [[name, n] for name, n in self.files_done],
+            "files_seen": sorted(self.files_seen),
             "record": self._record,
             "expected_stamp": self._expected_stamp,
             "runner": self.scheduler.export_state(),

@@ -86,6 +86,18 @@ class TokenBucket:
         self._refill(self._clock())
         self._tokens -= n
 
+    def settle(self, delta: float) -> None:
+        """Post-hoc correction: charge ``delta`` extra tokens (negative
+        = refund).
+
+        An under-estimate becomes *debt* — the balance may go negative,
+        which ``peek`` prices as extra refill time for the tenant's next
+        request; an over-estimate is refunded, clamped at ``burst`` so a
+        refund can never mint tokens the bucket could not hold.
+        """
+        self._refill(self._clock())
+        self._tokens = min(self.burst, self._tokens - delta)
+
 
 @dataclass(frozen=True)
 class TenantQuota:
@@ -114,6 +126,8 @@ class TenantMetrics:
     rejected_quota: int = 0
     rejected_queue: int = 0
     bytes_admitted: int = 0
+    bytes_actual: int = 0
+    reconciled: int = 0
     wait: LatencyStats = field(default_factory=LatencyStats)
     latency: LatencyStats = field(default_factory=LatencyStats)
 
@@ -123,6 +137,8 @@ class TenantMetrics:
             "rejected_quota": self.rejected_quota,
             "rejected_queue": self.rejected_queue,
             "bytes_admitted": self.bytes_admitted,
+            "bytes_actual": self.bytes_actual,
+            "reconciled": self.reconciled,
             "wait": self.wait.snapshot(),
             "latency": self.latency.snapshot(),
         }
@@ -130,11 +146,18 @@ class TenantMetrics:
 
 @dataclass(frozen=True)
 class Admission:
-    """A granted ticket: tokens are already consumed."""
+    """A granted ticket: tokens are already consumed.
+
+    ``charged`` is what the byte bucket was actually debited for — the
+    *estimate* of the backend cost, clamped at the tenant's burst.  Pass
+    the ticket back through :meth:`AdmissionController.reconcile` with
+    the measured byte count to square the estimate against reality.
+    """
 
     tenant: str
     nbytes: int
     waited_s: float
+    charged: float = 0.0
 
 
 class _TenantState:
@@ -217,7 +240,7 @@ class AdmissionController:
                         state.metrics.admitted += 1
                         state.metrics.bytes_admitted += nbytes
                         state.metrics.wait.record(waited)
-                        return Admission(tenant, nbytes, waited)
+                        return Admission(tenant, nbytes, waited, byte_cost)
                     kind = "requests" if state.requests.peek(1.0) > 0 else "bytes"
                     if not wait:
                         state.metrics.rejected_quota += 1
@@ -242,6 +265,29 @@ class AdmissionController:
             finally:
                 if queued:
                     state.waiting -= 1
+
+    def reconcile(self, admission: Admission, actual_nbytes: int) -> None:
+        """Square the admitted estimate against the measured backend
+        bytes once the read has completed.
+
+        The byte bucket was debited ``admission.charged`` (an output-size
+        estimate) up front; the difference to ``actual_nbytes`` is
+        settled now — an under-estimate leaves the bucket in debt (the
+        tenant's *next* request pays for it in refill time), an
+        over-estimate is refunded up to the burst.  Refunds wake waiters
+        so freed tokens are usable immediately.
+        """
+        actual_nbytes = int(actual_nbytes)
+        if actual_nbytes < 0:
+            raise ConfigError("actual_nbytes must be >= 0")
+        with self._lock:
+            state = self._state(admission.tenant)
+            delta = float(actual_nbytes) - admission.charged
+            state.bytes.settle(delta)
+            state.metrics.bytes_actual += actual_nbytes
+            state.metrics.reconciled += 1
+            if delta < 0:
+                self._cond.notify_all()
 
     def record_latency(self, tenant: str, seconds: float) -> None:
         """Fold a served request's end-to-end latency into the tenant's

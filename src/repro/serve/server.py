@@ -155,7 +155,8 @@ class DataServer:
         )
         self._events_path = os.fspath(events_path) if events_path else None
         self._events_lock = threading.Lock()
-        self._events_mtime: float | None = None  # guarded-by: _events_lock
+        # (st_mtime, st_size) of the last load — guarded-by: _events_lock
+        self._events_sig: tuple[float, int] | None = None
         self._events: list[SeamEvent] = []  # guarded-by: _events_lock
         self._closed = False
 
@@ -195,18 +196,25 @@ class DataServer:
         return self.pool.acquire(self.archive)[level.path]
 
     def load_events(self) -> list[SeamEvent]:
-        """The event catalog, re-read only when the sink file changed
-        (the RT service appends; mtime is the cheap freshness probe)."""
+        """The event catalog, re-read only when the sink file changed.
+
+        Freshness is keyed on ``(mtime, size)``, not mtime alone: mtimes
+        have finite granularity, so two appends inside one tick leave the
+        mtime unchanged — the same staleness race the storage catalog's
+        ``>=`` fix closed.  An append always grows the JSONL, so the size
+        breaks the tie.
+        """
         if self._events_path is None:
             return []
         try:
-            mtime = os.path.getmtime(self._events_path)
+            stat = os.stat(self._events_path)
         except OSError:
             return []
+        signature = (stat.st_mtime, stat.st_size)
         with self._events_lock:
-            if self._events_mtime != mtime:
+            if self._events_sig != signature:
                 self._events = EventSink(self._events_path).load()
-                self._events_mtime = mtime
+                self._events_sig = signature
             return list(self._events)
 
     def window_gaps(self, t0: int, t1: int) -> list[GapSpan]:
@@ -282,6 +290,12 @@ class ServeSession:
         out_samples = -(-(t1 - t0) // step)
         started = time.perf_counter()
         admission = self._admit((hi - lo) * out_samples * 8, wait)
+        # Byte-accurate accounting: the admitted charge is an output-size
+        # estimate; measure what the backend actually read and settle the
+        # difference against the tenant's byte bucket afterwards.  (The
+        # IOStats delta attributes concurrent tenants' reads to whoever
+        # reconciles first — best-effort under concurrency, exact solo.)
+        read_before = self.server.iostats.snapshot()["bytes_read"]
         window = WindowSource(self.server.source, t0, t1)
         query = Query.scan(None)
         if (lo, hi) != (0, self.server.n_channels):
@@ -294,6 +308,10 @@ class ServeSession:
             verify=False,
         )
         (result,) = execute(plan, source=window, iostats=self.server.iostats)
+        self.server.admission.reconcile(
+            admission,
+            self.server.iostats.snapshot()["bytes_read"] - read_before,
+        )
         self.server.admission.record_latency(
             self.tenant, time.perf_counter() - started
         )
@@ -346,6 +364,7 @@ class ServeSession:
         if level is not None:
             j0, j1 = level_slice(level.factor, t0, t1)
             admission = self._admit((hi - lo) * (j1 - j0) * 8, wait)
+            read_before = self.server.iostats.snapshot()["bytes_read"]
             block = np.asarray(
                 self.server.pyramid_data(level)[lo:hi, j0:j1], dtype=np.float64
             )
@@ -354,6 +373,7 @@ class ServeSession:
             factor = max(1, span // int(width))
             j0, j1 = level_slice(factor, t0, t1)
             admission = self._admit((hi - lo) * (j1 - j0) * 8, wait)
+            read_before = self.server.iostats.snapshot()["bytes_read"]
             window = WindowSource(self.server.source, j0 * factor, t1)
             query = Query.scan(None)
             if (lo, hi) != (0, self.server.n_channels):
@@ -369,6 +389,10 @@ class ServeSession:
                 plan, source=window, iostats=self.server.iostats
             )
             block, level_no = result.output, None
+        self.server.admission.reconcile(
+            admission,
+            self.server.iostats.snapshot()["bytes_read"] - read_before,
+        )
         self.server.admission.record_latency(
             self.tenant, time.perf_counter() - started
         )

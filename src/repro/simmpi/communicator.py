@@ -82,6 +82,13 @@ class Communicator:
         self.tracer = tracer if tracer is not None else Tracer(rank)
         self._recv_timeout = recv_timeout
 
+    @property
+    def fabric(self) -> Fabric:
+        """The shared fabric — exposed for dead-rank chaos hooks
+        (:meth:`Fabric.fail_rank` / :meth:`Fabric.restore_rank`) and
+        non-blocking polling loops."""
+        return self._fabric
+
     # -- topology helpers ----------------------------------------------------------
     @property
     def node(self) -> int:

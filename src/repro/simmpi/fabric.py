@@ -40,6 +40,7 @@ class Fabric:
         self._mailboxes: list[list[Message]] = [[] for _ in range(size)]
         self._seq = 0
         self._aborted: BaseException | None = None
+        self._failed: set[int] = set()  # guarded-by: _lock
         # Collective rendezvous state (double-barrier protocol).
         self._coll_barrier = threading.Barrier(size)
         self._coll_slots: list[Any] = [None] * size
@@ -58,12 +59,40 @@ class Fabric:
         if self._aborted is not None:
             raise MPIError(f"SPMD run aborted: {self._aborted!r}")
 
+    # -- dead-rank simulation -------------------------------------------------
+    def fail_rank(self, rank: int) -> None:
+        """Mark ``rank`` dead: its mailbox is purged (a crashed process
+        loses its volatile state), subsequent posts *to* it are silently
+        dropped, and receives *by* it raise.  Unlike :meth:`abort`, the
+        rest of the fabric keeps running — this is how chaos tests
+        simulate a single shard death without killing the whole run."""
+        if not (0 <= rank < self.size):
+            raise MPIError(f"rank {rank} out of range [0, {self.size})")
+        with self._lock:
+            self._failed.add(rank)
+            self._mailboxes[rank].clear()
+            self._lock.notify_all()
+
+    def restore_rank(self, rank: int) -> None:
+        """Bring a failed rank back (empty mailbox — a restart, not a
+        resume of the dead process's state)."""
+        with self._lock:
+            self._failed.discard(rank)
+            self._mailboxes[rank].clear()
+            self._lock.notify_all()
+
+    def is_failed(self, rank: int) -> bool:
+        with self._lock:
+            return rank in self._failed
+
     # -- point to point --------------------------------------------------------
     def post(self, dest: int, message: Message) -> None:
         if not (0 <= dest < self.size):
             raise MPIError(f"destination rank {dest} out of range [0, {self.size})")
         with self._lock:
             self._check_abort()
+            if dest in self._failed:
+                return  # the dead rank will never read it
             message.seq = self._seq
             self._seq += 1
             self._mailboxes[dest].append(message)
@@ -79,6 +108,8 @@ class Fabric:
         with self._lock:
             while True:
                 self._check_abort()
+                if dest in self._failed:
+                    raise MPIError(f"rank {dest} is failed (dead-rank simulation)")
                 box = self._mailboxes[dest]
                 best_idx = -1
                 for idx, msg in enumerate(box):
@@ -103,6 +134,8 @@ class Fabric:
         """Non-blocking match: pop a matching message or return None."""
         with self._lock:
             self._check_abort()
+            if dest in self._failed:
+                raise MPIError(f"rank {dest} is failed (dead-rank simulation)")
             box = self._mailboxes[dest]
             best_idx = -1
             for idx, msg in enumerate(box):

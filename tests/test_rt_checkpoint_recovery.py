@@ -1,0 +1,237 @@
+"""Corrupted/torn checkpoint recovery.
+
+Every corruption shape — truncation at several offsets, single-bit
+flips at several positions, a torn promote (primary missing, ``.prev``
+present) — must be *detected* (typed ``CheckpointCorruptError``) and
+fall back to the previous verifiable generation, or raise when none
+verifies.  A silent resume from a wrong checkpoint is the one failure
+mode none of these tests may permit."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.local_similarity import LocalSimilarityConfig
+from repro.errors import CheckpointCorruptError
+from repro.faults.chaos import flip_text_byte, tear_file
+from repro.rt import (
+    CheckpointStore,
+    DetectorConfig,
+    EventPolicy,
+    RTService,
+    ServiceConfig,
+)
+from repro.rt.checkpoint import PREVIOUS_SUFFIX
+from repro.synthetic.generator import drip_feed_dataset, fig1b_scene
+
+PAYLOAD_ONE = {"files_done": [["a.h5", 600]], "sample_count": 600}
+PAYLOAD_TWO = {"files_done": [["a.h5", 600], ["b.h5", 600]],
+               "sample_count": 1200}
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(str(tmp_path / "ckpt.json"))
+
+
+def _saved_twice(store):
+    store.save(PAYLOAD_ONE)
+    store.save(PAYLOAD_TWO)
+    return store
+
+
+class TestGenerations:
+    def test_save_demotes_previous_generation(self, store):
+        _saved_twice(store)
+        assert os.path.exists(store.path)
+        assert os.path.exists(store.previous_path)
+        assert store.load()["sample_count"] == 1200
+        assert store.loaded_from == "primary"
+        assert store.last_error is None
+
+    def test_clear_removes_both_generations(self, store):
+        _saved_twice(store)
+        store.clear()
+        assert not os.path.exists(store.path)
+        assert not os.path.exists(store.previous_path)
+        assert store.load() is None
+
+    def test_missing_primary_with_prev_is_torn_promote(self, store):
+        _saved_twice(store)
+        os.remove(store.path)
+        payload = store.load()
+        assert payload["sample_count"] == 600
+        assert store.loaded_from == "previous"
+        assert isinstance(store.last_error, CheckpointCorruptError)
+        assert "torn promote" in store.last_error.reason
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("keep_fraction", [0.0, 0.25, 0.5, 0.9])
+    def test_torn_primary_falls_back_to_prev(self, store, keep_fraction):
+        _saved_twice(store)
+        tear_file(store.path, keep_fraction=keep_fraction)
+        payload = store.load()
+        # Never the torn state, always the previous verified one.
+        assert payload["sample_count"] == 600
+        assert store.loaded_from == "previous"
+        assert isinstance(store.last_error, CheckpointCorruptError)
+        assert store.last_error.path == store.path
+
+    @pytest.mark.parametrize("keep_fraction", [0.0, 0.5, 0.9])
+    def test_torn_only_generation_raises(self, store, keep_fraction):
+        store.save(PAYLOAD_ONE)
+        tear_file(store.path, keep_fraction=keep_fraction)
+        with pytest.raises(CheckpointCorruptError):
+            store.load()
+
+    def test_both_generations_torn_raises(self, store):
+        _saved_twice(store)
+        tear_file(store.path, keep_fraction=0.5)
+        tear_file(store.previous_path, keep_fraction=0.5)
+        with pytest.raises(CheckpointCorruptError):
+            store.load()
+
+
+class TestBitFlips:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_flipped_primary_never_loads_silently(self, store, seed):
+        _saved_twice(store)
+        original = open(store.path, encoding="utf-8").read()
+        flip_text_byte(store.path, seed=seed)
+        assert open(store.path, encoding="utf-8").read() != original
+        try:
+            payload = store.load()
+        except CheckpointCorruptError:
+            return  # both generations damaged is impossible here; ok
+        # Either the flip landed somewhere harmless enough that the
+        # document still verifies byte-for-byte semantics (impossible:
+        # CRC covers the whole canonical body), or we fell back.
+        assert store.loaded_from == "previous"
+        assert payload["sample_count"] == 600
+        assert isinstance(store.last_error, CheckpointCorruptError)
+
+    def test_crc_mismatch_reason_for_parseable_mutation(self, store):
+        store.save(PAYLOAD_TWO)
+        with open(store.path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        document["sample_count"] = 999  # parseable, semantically wrong
+        with open(store.path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        with pytest.raises(CheckpointCorruptError, match="crc mismatch"):
+            store.load()
+
+    def test_wrong_version_rejected(self, store):
+        store.save(PAYLOAD_ONE)
+        with open(store.path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        document["version"] = 99
+        with open(store.path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        with pytest.raises(CheckpointCorruptError, match="version"):
+            store.load()
+
+    def test_legacy_document_without_crc_loads(self, store):
+        # Pre-CRC checkpoints must stay loadable (unverified).
+        document = {"version": 1, **PAYLOAD_ONE}
+        with open(store.path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        assert store.load()["sample_count"] == 600
+        assert store.loaded_from == "primary"
+
+
+# ---------------------------------------------------------------------------
+# service-level recovery
+# ---------------------------------------------------------------------------
+
+FS = 50.0
+CHANNELS = 48
+MINUTES = 3
+SPM = 600
+SIM = LocalSimilarityConfig(
+    half_window=25, channel_offset=1, half_lag=5, stride=25
+)
+DETECTOR = DetectorConfig(band=(0.5, 12.0), similarity=SIM)
+POLICY = EventPolicy(threshold=0.4, min_fraction=0.25)
+CFG = ServiceConfig(
+    poll_interval=0.0, settle_seconds=0.0, stable_polls=1,
+    checkpoint_every=1, max_retries=2, queue_capacity=1,
+    update_catalog=False,
+)
+
+
+def _spool(tmp_path):
+    scene = fig1b_scene(
+        n_channels=CHANNELS, fs=FS, minutes=MINUTES,
+        samples_per_minute=SPM, seed=7,
+    )
+    spool = tmp_path / "spool"
+    spool.mkdir()
+    list(drip_feed_dataset(spool, MINUTES, scene=scene,
+                           samples_per_minute=SPM))
+    return str(spool)
+
+
+def _reference_keys(spool):
+    ref = RTService(spool + "-ref", detector=DETECTOR, policy=POLICY,
+                    config=CFG)
+    # same scene, separate state
+    import shutil
+
+    os.makedirs(spool + "-ref", exist_ok=True)
+    for name in sorted(os.listdir(spool)):
+        if name.endswith(".h5"):
+            shutil.copy(os.path.join(spool, name),
+                        os.path.join(spool + "-ref", name))
+    ref = RTService(spool + "-ref", detector=DETECTOR, policy=POLICY,
+                    config=CFG)
+    ref.drain()
+    ref.flush()
+    return {(r, e.j_start, e.j_end) for r, e in ref.sink.load_records()}
+
+
+class TestServiceRecovery:
+    def test_torn_primary_resumes_from_prev_and_matches(self, tmp_path):
+        spool = _spool(tmp_path)
+        expected = _reference_keys(spool)
+        service = RTService(spool, detector=DETECTOR, policy=POLICY,
+                            config=CFG)
+        service.tick()
+        service.tick()  # two checkpoints -> .prev exists
+        ckpt = service.checkpoints.path
+        del service  # SIGKILL stand-in
+        tear_file(ckpt, keep_fraction=0.5)
+        resumed = RTService(spool, detector=DETECTOR, policy=POLICY,
+                            config=CFG)
+        # The fallback is surfaced as a typed reason, not silent.
+        assert resumed.checkpoint_fallback is not None
+        assert resumed.checkpoints.loaded_from == "previous"
+        resumed.drain()
+        resumed.flush()
+        got = {(r, e.j_start, e.j_end)
+               for r, e in resumed.sink.load_records()}
+        assert got == expected
+
+    def test_total_corruption_starts_fresh_with_typed_reason(self, tmp_path):
+        spool = _spool(tmp_path)
+        expected = _reference_keys(spool)
+        service = RTService(spool, detector=DETECTOR, policy=POLICY,
+                            config=CFG)
+        service.tick()  # exactly one generation
+        ckpt = service.checkpoints.path
+        del service
+        tear_file(ckpt, keep_fraction=0.5)
+        assert not os.path.exists(ckpt + PREVIOUS_SUFFIX)
+        resumed = RTService(spool, detector=DETECTOR, policy=POLICY,
+                            config=CFG)
+        # No verifiable generation: never a silent wrong resume — the
+        # service records the typed failure and replays from scratch,
+        # relying on sink dedup for exactly-once events.
+        assert resumed.checkpoint_fallback is not None
+        assert "torn json" in resumed.checkpoint_fallback
+        resumed.drain()
+        resumed.flush()
+        got = {(r, e.j_start, e.j_end)
+               for r, e in resumed.sink.load_records()}
+        assert got == expected

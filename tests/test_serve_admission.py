@@ -209,6 +209,94 @@ def test_metrics_accounting():
     assert set(ctl.snapshot()) == {"a"}
 
 
+# -- byte-accurate reconciliation --------------------------------------------
+
+def test_settle_debt_prices_into_next_peek():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=10.0, clock=clock)
+    bucket.take(4.0)
+    bucket.settle(8.0)  # actual cost exceeded the estimate by 8
+    assert bucket.tokens == pytest.approx(-2.0)  # debt
+    assert bucket.peek(1.0) == pytest.approx(0.3)  # 3 tokens @ 10/s
+
+
+def test_settle_refund_clamps_at_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=10.0, clock=clock)
+    bucket.take(3.0)
+    bucket.settle(-100.0)  # over-refund must not mint tokens
+    assert bucket.tokens == pytest.approx(10.0)
+
+
+def test_reconcile_underestimate_charges_the_difference():
+    clock = FakeClock()
+    ctl = AdmissionController(
+        default=TenantQuota(
+            requests_per_s=1000.0,
+            request_burst=1000.0,
+            bytes_per_s=100.0,
+            byte_burst=100.0,
+        ),
+        clock=clock,
+    )
+    admission = ctl.admit("a", nbytes=10, wait=False)
+    assert admission.charged == pytest.approx(10.0)
+    # The read actually moved 90 backend bytes: 80 more drain now.
+    ctl.reconcile(admission, actual_nbytes=90)
+    with pytest.raises(QuotaExceededError) as err:
+        ctl.admit("a", nbytes=50, wait=False)  # only 10 tokens remain
+    assert err.value.retry_after == pytest.approx(0.4)
+    snap = ctl.metrics("a")
+    assert snap["bytes_admitted"] == 10
+    assert snap["bytes_actual"] == 90
+    assert snap["reconciled"] == 1
+
+
+def test_reconcile_overestimate_refunds_unused_tokens():
+    clock = FakeClock()
+    ctl = AdmissionController(
+        default=TenantQuota(
+            requests_per_s=1000.0,
+            request_burst=1000.0,
+            bytes_per_s=100.0,
+            byte_burst=100.0,
+        ),
+        clock=clock,
+    )
+    admission = ctl.admit("a", nbytes=80, wait=False)
+    ctl.reconcile(admission, actual_nbytes=10)  # cache hit: cheap read
+    # 100 - 80 + 70 refunded = 90 available right now.
+    ctl.admit("a", nbytes=90, wait=False)
+
+
+def test_reconcile_conserves_over_estimate_and_actual():
+    """Whatever the estimates were, after reconciliation the bucket has
+    drained exactly the *actual* bytes (modulo the burst clamp)."""
+    clock = FakeClock()
+    ctl = AdmissionController(
+        default=TenantQuota(
+            requests_per_s=1000.0,
+            request_burst=1000.0,
+            bytes_per_s=1.0,
+            byte_burst=1000.0,
+        ),
+        clock=clock,
+    )
+    for estimate, actual in [(100, 37), (0, 250), (300, 300), (50, 0)]:
+        admission = ctl.admit("a", nbytes=estimate, wait=False)
+        ctl.reconcile(admission, actual_nbytes=actual)
+    state = ctl._tenants["a"]
+    assert state.bytes.tokens == pytest.approx(1000.0 - (37 + 250 + 300))
+    assert ctl.metrics("a")["bytes_actual"] == 37 + 250 + 300
+
+
+def test_reconcile_rejects_negative_actual():
+    ctl = AdmissionController(clock=FakeClock())
+    admission = ctl.admit("a", nbytes=1, wait=False)
+    with pytest.raises(ConfigError):
+        ctl.reconcile(admission, actual_nbytes=-1)
+
+
 # -- concurrency -------------------------------------------------------------
 
 def test_hammer_is_sanitizer_clean_and_conserves_tokens(lock_sanitizer):

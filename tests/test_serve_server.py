@@ -236,6 +236,23 @@ def test_events_without_catalog_is_empty(archive):
         assert server.session("viewer").events(0, 100) == []
 
 
+def test_events_cache_sees_append_within_one_mtime_tick(archive, tmp_path):
+    """Regression: two appends inside one mtime granularity tick must
+    not serve the stale first load — freshness keys on (mtime, size)."""
+    vca, _ = archive
+    log = tmp_path / "events.jsonl"
+    EventSink(str(log)).emit([_event(1, 5.0, 8.0)])
+    with DataServer(vca, events_path=str(log)) as server:
+        session = server.session("viewer")
+        assert [ev.event.label for ev in session.events(0, 1800)] == [1]
+        stat = os.stat(log)
+        EventSink(str(log)).emit([_event(2, 9.0, 12.0)])
+        # Pin the mtime back to the first append's value: the second
+        # append landed "within the same tick" as far as mtime can tell.
+        os.utime(log, (stat.st_atime, stat.st_mtime))
+        assert [ev.event.label for ev in session.events(0, 1800)] == [1, 2]
+
+
 # -- admission integration ---------------------------------------------------
 
 def test_quota_rejection_is_typed_and_counted(archive):
@@ -258,6 +275,26 @@ def test_quota_rejection_is_typed_and_counted(archive):
 
         # the other tenant's bucket is untouched
         server.session("tenant-b").read_window(0, 100, wait=False)
+
+
+def test_requests_reconcile_actual_backend_bytes(archive):
+    """Byte-accurate admission: after each request the tenant's byte
+    bucket reflects the *measured* IOStats delta, not the output-size
+    estimate, and the reconciliation lands in the metrics."""
+    vca, _ = archive
+    with DataServer(vca) as server:
+        session = server.session("viewer")
+        session.read_window(100, 700, channels=(2, 6), step=3)
+        metrics = session.metrics()
+        assert metrics["reconciled"] == 1
+        assert metrics["bytes_actual"] > 0
+        session.preview(0, 1800, width=64)
+        metrics = session.metrics()
+        assert metrics["reconciled"] == 2
+        # The strided, channel-selected window's backend traffic differs
+        # from the dense-output estimate; the settled totals record what
+        # the backend really moved.
+        assert metrics["bytes_actual"] != metrics["bytes_admitted"]
 
 
 def test_closed_server_rejects_sessions(archive):
