@@ -25,14 +25,41 @@
 # planner query, and a greedy tenant saturating its quota leaves a
 # polite tenant's p95 latency within the configured isolation bound
 # (BENCH_serve.json).  repro.checks rejects new lock-discipline,
-# exception-taxonomy, operator-contract, planner-geometry, and
-# public-API findings not in scripts/checks_baseline.json.
+# exception-taxonomy, operator-contract, planner-geometry, public-API,
+# simmpi-protocol, resource-lifecycle, and atomic-persistence findings
+# not in scripts/checks_baseline.json; the incremental smoke then
+# proves --changed-since on the unchanged tree re-analyzes zero
+# modules and replays the full run's findings byte-for-byte.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python -m repro.checks --baseline scripts/checks_baseline.json
+python - <<'EOF'
+import json, subprocess, sys, time
+
+def run_checks(*args):
+    started = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.checks", "--json",
+         "--baseline", "scripts/checks_baseline.json", *args],
+        capture_output=True, text=True,
+    )
+    if proc.returncode not in (0, 1):
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(proc.returncode)
+    return json.loads(proc.stdout), time.perf_counter() - started
+
+full, full_s = run_checks()
+incr, incr_s = run_checks("--changed-since", "HEAD")
+state = incr["incremental"]
+assert state["modules_reanalyzed"] == [], state
+assert json.dumps(incr["findings"]) == json.dumps(full["findings"])
+print(f"checks incremental smoke: full {full_s:.2f}s -> --changed-since "
+      f"{incr_s:.2f}s, {state['modules_replayed']} modules replayed, "
+      f"findings byte-identical")
+EOF
 python -m pytest -x -q
 python benchmarks/bench_cache.py --smoke
 python benchmarks/bench_pipeline.py --smoke

@@ -22,6 +22,7 @@ and never touches the waivers.
 from __future__ import annotations
 
 import json
+import os
 from collections import Counter
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
@@ -115,6 +116,7 @@ class Baseline:
                 "path": finding.path,
                 "line": finding.line,
                 "message": finding.message,
+                "context": finding.context,
                 "reason": previous.get("reason", UNREVIEWED),
             })
         waivers = []
@@ -129,6 +131,10 @@ class Baseline:
 
     def save(self, path: str | Path, findings: list[Finding]) -> None:
         doc = self.updated_document(findings)
-        Path(path).write_text(
-            json.dumps(doc, indent=2, sort_keys=False) + "\n", encoding="utf-8"
-        )
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)

@@ -1,0 +1,194 @@
+"""Per-module result cache + the diff-aware incremental engine.
+
+A full run stores, per scanned module, the content digest of its source
+and the findings attributed to it.  An incremental run
+(``--changed-since``) then re-analyzes only modules whose digest no
+longer matches (or that the cache has never seen), widened to their
+reverse import closure over the project call graph's module
+dependencies: a whole-program analyzer's verdict on ``a.py`` can change
+when ``b.py`` (which it imports) changes, so dependents are always
+re-run.  Everything else is replayed verbatim from the cache —
+byte-for-byte the findings a full run would produce, because analyzers
+are deterministic functions of (module content, analyzer version).
+
+Content digests — not ``git diff <rev>`` — decide staleness: a cached
+entry is valid exactly when the module's bytes match what the cache was
+primed on, regardless of what git thinks changed (mtime-only touches,
+reverted edits, or a cache primed mid-history would all mislead a
+line-level diff).  The ``rev`` argument names the tree state the caller
+*believes* the cache represents; it is recorded in the report for
+humans, while the digests keep the replay correct even when that belief
+is wrong.
+
+The cache key is the *engine signature*: a hash over every registered
+analyzer's ``(name, version, codes)``.  Bumping an analyzer's
+``version`` (or adding/removing one) invalidates the whole cache — per
+analyzer-version keying at module granularity would save little and
+complicate the merge, since a full run exercises every analyzer anyway.
+
+The cache itself is throwaway state, but it is written with the same
+tmp + fsync + ``os.replace`` discipline the ATM analyzer enforces — the
+checks must pass their own checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.checks.callgraph import build_callgraph
+from repro.checks.findings import Finding
+from repro.checks.source import Project
+
+__all__ = [
+    "ResultCache", "IncrementalResult", "engine_signature", "module_digest",
+    "incremental_scope", "merge_incremental", "prime_cache", "DEFAULT_CACHE",
+]
+
+DEFAULT_CACHE = ".checks_cache.json"
+_SCHEMA = 1
+
+
+def engine_signature(analyzers) -> str:
+    """Hash of every analyzer's identity — any change invalidates."""
+    spec = sorted(
+        (a.name, int(getattr(a, "version", 1)), tuple(sorted(a.codes)))
+        for a in analyzers
+    )
+    raw = json.dumps([_SCHEMA, [list(map(str, (n, v))) + [list(c)] for n, v, c in spec]])
+    return hashlib.sha1(raw.encode("utf-8")).hexdigest()[:16]
+
+
+def module_digest(text: str) -> str:
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class ResultCache:
+    """``modules``: rel -> {"digest": str, "findings": [finding dicts]}."""
+
+    path: Path
+    engine: str
+    modules: dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path, analyzers) -> "ResultCache":
+        """Load when present *and* engine-compatible; else start empty
+        (a stale cache is silently discarded, never trusted)."""
+        path = Path(path)
+        engine = engine_signature(analyzers)
+        if not path.exists():
+            return cls(path=path, engine=engine)
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cls(path=path, engine=engine)
+        if raw.get("engine") != engine:
+            return cls(path=path, engine=engine)
+        modules = {
+            rel: entry
+            for rel, entry in raw.get("modules", {}).items()
+            if isinstance(entry, dict) and "digest" in entry
+        }
+        return cls(path=path, engine=engine, modules=modules)
+
+    def fresh(self, rel: str, digest: str) -> bool:
+        entry = self.modules.get(rel)
+        return entry is not None and entry.get("digest") == digest
+
+    def findings_for(self, rel: str) -> list[Finding]:
+        entry = self.modules.get(rel, {})
+        return [Finding.from_dict(d) for d in entry.get("findings", [])]
+
+    def store(self, rel: str, digest: str, findings: list[Finding]) -> None:
+        self.modules[rel] = {
+            "digest": digest,
+            "findings": [f.to_dict() for f in sorted(findings, key=Finding.sort_key)],
+        }
+
+    def prune(self, live: set[str]) -> None:
+        """Drop entries for modules no longer in the scan set."""
+        for rel in list(self.modules):
+            if rel not in live:
+                del self.modules[rel]
+
+    def save(self) -> None:
+        doc = {"engine": self.engine, "modules": self.modules}
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+
+@dataclass
+class IncrementalResult:
+    findings: list[Finding]
+    #: modules actually re-analyzed this run (digest-changed + dependents)
+    reanalyzed: list[str]
+    #: modules replayed from the cache
+    replayed: int
+
+
+def incremental_scope(
+    project: Project, cache: ResultCache
+) -> tuple[set[str], set[str]]:
+    """(re-analysis scope, directly-changed set) for this tree state.
+
+    Scope is the reverse import closure of every module whose content
+    digest misses the cache.  A fresh digest means the cached findings
+    were computed on these exact bytes, so replaying them is sound; a
+    miss (changed, new, or never-cached module) forces re-analysis of
+    the module and everything that imports it.
+    """
+    rels = {mod.rel for mod in project.modules}
+    changed: set[str] = set()
+    for mod in project.modules:
+        if not cache.fresh(mod.rel, module_digest(mod.text)):
+            changed.add(mod.rel)
+    graph = build_callgraph(project)
+    scope = graph.dependents_closure(changed) & rels
+    return scope, changed
+
+
+def merge_incremental(
+    project: Project,
+    cache: ResultCache,
+    fresh_findings: list[Finding],
+    scope: set[str],
+) -> IncrementalResult:
+    """Fold freshly-computed findings for ``scope`` into the cached
+    results for everything else; updates (but does not save) the cache."""
+    by_rel: dict[str, list[Finding]] = {rel: [] for rel in scope}
+    for finding in fresh_findings:
+        by_rel.setdefault(finding.path, []).append(finding)
+    findings: list[Finding] = []
+    replayed = 0
+    for mod in project.modules:
+        if mod.rel in scope:
+            fresh = by_rel.get(mod.rel, [])
+            cache.store(mod.rel, module_digest(mod.text), fresh)
+            findings.extend(fresh)
+        else:
+            findings.extend(cache.findings_for(mod.rel))
+            replayed += 1
+    cache.prune({mod.rel for mod in project.modules})
+    return IncrementalResult(
+        findings=sorted(findings, key=Finding.sort_key),
+        reanalyzed=sorted(scope),
+        replayed=replayed,
+    )
+
+
+def prime_cache(project: Project, cache: ResultCache, findings: list[Finding]) -> None:
+    """After a full run: record every module's digest and findings."""
+    by_rel: dict[str, list[Finding]] = {mod.rel: [] for mod in project.modules}
+    for finding in findings:
+        by_rel.setdefault(finding.path, []).append(finding)
+    for mod in project.modules:
+        cache.store(mod.rel, module_digest(mod.text), by_rel.get(mod.rel, []))
+    cache.prune({mod.rel for mod in project.modules})

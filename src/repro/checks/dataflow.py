@@ -1,0 +1,78 @@
+"""Generic worklist dataflow solver over :mod:`repro.checks.cfg` graphs.
+
+The engine runs forward *may*-analyses: facts are sets (any hashable
+frozen collection works), ``join`` is union-like, and the solver iterates
+to a fixpoint with a worklist.  Exception edges can carry a different
+transfer than normal/back edges — crucial for resource-leak analysis,
+where a statement that *releases* a resource still releases it before an
+exception raised later in the same statement region can escape, but a
+statement that *acquires* one may raise before the acquisition lands:
+
+``transfer(node, state)``
+    state after the statement completes normally;
+``transfer_exc(node, state)``
+    state carried along the statement's exception edges.  Defaults to
+    the *input* state (the statement may raise before any of its
+    effects happen) — a safe over-approximation for leak detection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+
+from repro.checks.cfg import CFG, CFGNode
+from repro.errors import ReproError
+
+__all__ = ["solve_forward"]
+
+State = Hashable
+
+
+def solve_forward(
+    cfg: CFG,
+    transfer: Callable[[CFGNode, State], State],
+    *,
+    init: State,
+    join: Callable[[State, State], State],
+    transfer_exc: Callable[[CFGNode, State], State] | None = None,
+    max_iterations: int = 100_000,
+) -> tuple[dict[int, State], dict[int, State]]:
+    """Iterate to fixpoint; returns ``(state_in, state_out)`` per node uid.
+
+    ``state_in[uid]`` is the join over all incoming edge states;
+    ``state_out[uid]`` the state after ``transfer``.  Synthetic nodes
+    (entry/exit/raise-exit) pass state through unchanged.  The exit
+    nodes' ``state_in`` is what analyzers usually inspect: facts that
+    may hold when the function returns (``cfg.exit``) or when an
+    exception escapes it (``cfg.raise_exit``).
+    """
+    state_in: dict[int, State] = {}
+    state_out: dict[int, State] = {}
+    state_in[cfg.entry] = init
+
+    worklist: list[int] = [cfg.entry]
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > max_iterations:  # pragma: no cover - safety valve
+            raise ReproError("dataflow solver failed to converge")
+        uid = worklist.pop()
+        node = cfg.nodes[uid]
+        in_state = state_in.get(uid, init)
+        if node.kind == "stmt":
+            out_normal = transfer(node, in_state)
+            out_exc = (
+                transfer_exc(node, in_state) if transfer_exc is not None else in_state
+            )
+        else:
+            out_normal = out_exc = in_state
+        state_out[uid] = out_normal
+        for edge in cfg.succs.get(uid, ()):
+            carried = out_exc if edge.kind == "exception" else out_normal
+            old = state_in.get(edge.target)
+            merged = carried if old is None else join(old, carried)
+            if merged != old:
+                state_in[edge.target] = merged
+                if edge.target not in worklist:
+                    worklist.append(edge.target)
+    return state_in, state_out

@@ -35,6 +35,9 @@ class Finding:
     message: str
     hint: str = ""
     severity: str = field(default="error")
+    #: normalized source text of the flagged line — the line-drift-stable
+    #: anchor the fingerprint hashes instead of the line number
+    context: str = ""
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -42,9 +45,10 @@ class Finding:
 
     @property
     def fingerprint(self) -> str:
-        """Stable identity for baseline matching: independent of the
-        line number, so entries survive edits elsewhere in the file."""
-        raw = f"{self.code}|{self.path}|{self.message}"
+        """Stable identity for baseline matching: hashes (code, path,
+        message, normalized source context) — never the line number — so
+        entries survive unrelated edits above the flagged line."""
+        raw = f"{self.code}|{self.path}|{self.message}|{self.context}"
         return hashlib.sha1(raw.encode("utf-8")).hexdigest()[:12]
 
     def sort_key(self) -> tuple:
@@ -59,8 +63,23 @@ class Finding:
             "severity": self.severity,
             "message": self.message,
             "hint": self.hint,
+            "context": self.context,
             "fingerprint": self.fingerprint,
         }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (the result-cache round trip)."""
+        return cls(
+            code=raw["code"],
+            rule=raw["rule"],
+            path=raw["path"],
+            line=int(raw["line"]),
+            message=raw["message"],
+            hint=raw.get("hint", ""),
+            severity=raw.get("severity", "error"),
+            context=raw.get("context", ""),
+        )
 
     def format(self) -> str:
         text = f"{self.path}:{self.line}: {self.code} {self.message}"

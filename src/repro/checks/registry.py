@@ -29,6 +29,9 @@ class Analyzer:
     name: str = ""
     #: short human description
     description: str = ""
+    #: bump when the analyzer's logic changes — invalidates cached
+    #: per-module results (see repro.checks.cache)
+    version: int = 1
     #: code -> one-line description of the specific check
     codes: dict[str, str] = {}
 
@@ -42,6 +45,7 @@ class Analyzer:
         return Finding(
             code=code, rule=self.name, path=mod.rel, line=line,
             message=message, hint=hint, severity=severity,
+            context=mod.context_line(line),
         )
 
 
@@ -56,7 +60,9 @@ def register(cls: type[Analyzer]) -> type[Analyzer]:
 def all_analyzers() -> list[Analyzer]:
     """One instance of every registered analyzer (built-ins included)."""
     # Importing the built-in analyzer modules triggers their @register.
-    from repro.checks import api, contracts, locks, pln, taxonomy  # noqa - imported for side effect
+    from repro.checks import (  # noqa - imported for side effect
+        api, atm, ccm, contracts, locks, pln, res, taxonomy,
+    )
 
-    _ = (api, contracts, locks, pln, taxonomy)
+    _ = (api, atm, ccm, contracts, locks, pln, res, taxonomy)
     return [cls() for _, cls in sorted(_REGISTRY.items())]

@@ -10,6 +10,7 @@ to parse produces a ``PAR001`` finding rather than crashing the run.
 from __future__ import annotations
 
 from pathlib import Path
+from time import perf_counter
 from typing import Iterable
 
 from repro.checks.findings import Finding
@@ -78,16 +79,22 @@ def load_project(root: str | Path, paths: Iterable[str | Path] | None = None) ->
     return Project(root=root, modules=modules)
 
 
-def run_analyzers(project: Project, only: Iterable[str] | None = None) -> list[Finding]:
+def run_analyzers(
+    project: Project,
+    only: Iterable[str] | None = None,
+    timings: dict[str, float] | None = None,
+) -> list[Finding]:
     """Run (a selection of) analyzers; returns stably-sorted findings.
 
     ``only`` filters by rule-family name (``exception-taxonomy``) or
-    individual code (``TAX001``); parse failures always surface.
+    individual code (``TAX001``); parse failures always surface.  When a
+    ``timings`` dict is passed, each analyzer's wall time in
+    milliseconds is recorded under its family name.
     """
     wanted = {token.strip() for token in only} if only else None
     findings: list[Finding] = []
     for mod in project.modules:
-        if mod.parse_error is not None:
+        if mod.parse_error is not None and project.in_scope(mod):
             findings.append(Finding(
                 code="PAR001", rule="parse", path=mod.rel, line=1,
                 message=f"file does not parse: {mod.parse_error}",
@@ -100,7 +107,12 @@ def run_analyzers(project: Project, only: Iterable[str] | None = None) -> list[F
             analyzer.name in wanted or wanted & set(analyzer.codes)
         ):
             continue
+        started = perf_counter()
         selected = list(analyzer.run(project))
+        if timings is not None:
+            timings[analyzer.name] = round(
+                (perf_counter() - started) * 1000.0, 3
+            )
         if wanted is not None and analyzer.name not in wanted:
             selected = [f for f in selected if f.code in wanted]
         findings.extend(selected)

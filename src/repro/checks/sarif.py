@@ -1,0 +1,67 @@
+"""SARIF 2.1.0 output for check findings.
+
+Minimal but valid: one run, one tool, one rule per code, one result per
+finding with a physical location and a ``partialFingerprints`` entry
+carrying the same line-drift-stable fingerprint the baseline uses — so
+SARIF consumers (code-scanning UIs, diff annotators) dedupe findings
+across commits exactly like our own baseline does.
+"""
+
+from __future__ import annotations
+
+from repro.checks.findings import Finding
+
+__all__ = ["to_sarif", "SARIF_VERSION"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(findings: list[Finding], analyzers) -> dict:
+    """A SARIF document for ``findings`` (typically the post-baseline
+    *new* ones; pass everything for a full inventory)."""
+    rules = []
+    rule_index: dict[str, int] = {}
+    for analyzer in analyzers:
+        for code, text in sorted(analyzer.codes.items()):
+            rule_index[code] = len(rules)
+            rules.append({
+                "id": code,
+                "name": analyzer.name,
+                "shortDescription": {"text": text},
+            })
+    results = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        result = {
+            "ruleId": finding.code,
+            "level": "error" if finding.severity == "error" else "warning",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {"startLine": max(1, finding.line)},
+                },
+            }],
+            "partialFingerprints": {"reproChecks/v1": finding.fingerprint},
+        }
+        if finding.code in rule_index:
+            result["ruleIndex"] = rule_index[finding.code]
+        if finding.hint:
+            result["message"]["text"] += f"  [{finding.hint}]"
+        results.append(result)
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.checks",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }

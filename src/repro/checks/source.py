@@ -80,6 +80,14 @@ class SourceModule:
             lines.add(end)
         return any(self.is_suppressed(line, code) for line in lines)
 
+    def context_line(self, line: int) -> str:
+        """Whitespace-normalized source text of ``line`` — the stable
+        anchor findings fingerprint on instead of the line number."""
+        lines = self.text.splitlines()
+        if 1 <= line <= len(lines):
+            return " ".join(lines[line - 1].split())
+        return ""
+
     def guarded_on(self, line: int) -> str | None:
         """The lock name from a ``# guarded-by:`` comment on ``line``."""
         match = GUARDED_BY_RE.search(self.comments.get(line, ""))
@@ -135,13 +143,24 @@ def load_module(path: Path, rel: str, relaxed: bool = False) -> SourceModule:
 
 @dataclass
 class Project:
-    """Everything one check run looks at."""
+    """Everything one check run looks at.
+
+    ``scope`` narrows *reporting*, not *parsing*: in an incremental run
+    the whole tree is still loaded (whole-program analyzers need every
+    module to resolve names and build call graphs), but only modules in
+    scope may produce findings — the rest come from the result cache.
+    ``None`` means everything is in scope (a full run).
+    """
 
     root: Path
     modules: list[SourceModule]
+    scope: set[str] | None = None
 
     def module(self, rel: str) -> SourceModule | None:
         for mod in self.modules:
             if mod.rel == rel:
                 return mod
         return None
+
+    def in_scope(self, mod: SourceModule) -> bool:
+        return self.scope is None or mod.rel in self.scope

@@ -334,6 +334,8 @@ class EventSink:
                 self._keys.add(key)
                 self.count += 1
                 written.append(seam_event)
+            handle.flush()
+            os.fsync(handle.fileno())
         return written
 
     def load(self) -> list[SeamEvent]:

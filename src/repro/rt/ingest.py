@@ -242,5 +242,11 @@ class Quarantine:
         with self._lock:
             self.reasons[name] = reason
             self.errors[name] = entry.get("error")
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(json.dumps(entry) + "\n")
+        # The append happens outside the lock: the JSONL is a rebuild
+        # log keyed by name (load() just replays it into the maps), so
+        # row order across threads doesn't matter — but holding the lock
+        # across file I/O would stall every reader behind the disk.
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())

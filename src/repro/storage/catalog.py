@@ -102,8 +102,12 @@ class Catalog:
                 for entry in self.entries
             ],
         }
-        with open(self.path, "w") as fh:
+        tmp = self.path + ".tmp"
+        with open(tmp, "w") as fh:
             json.dump(payload, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
         return self.path
 
     # -- freshness ------------------------------------------------------------------

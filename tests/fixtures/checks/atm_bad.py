@@ -1,0 +1,31 @@
+"""Checks fixture: atomic-persistence violations.
+
+Expected: two ATM001 (bare open-for-write onto the final path;
+``write_text`` straight to the destination), one ATM002 (tmp-staged
+write published by ``os.replace`` without fsync), and one ATM003
+(append to a durable log with no flush + fsync).
+"""
+
+import json
+import os
+
+
+def save_bare(path, payload):
+    with open(path, "w") as fh:  # no staging at all
+        json.dump(payload, fh)
+
+
+def save_write_text(path, payload):
+    path.write_text(json.dumps(payload))
+
+
+def save_unsynced(path, payload):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh)
+    os.replace(tmp, path)  # the name flips before the bytes land
+
+
+def append_row(path, row):
+    with open(path, "a") as fh:
+        fh.write(row + "\n")

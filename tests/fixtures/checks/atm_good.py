@@ -1,0 +1,41 @@
+"""Checks fixture: atomic-persistence — the blessed discipline.
+
+Twins of ``atm_bad.py``: the full tmp + flush + fsync + ``os.replace``
+sequence, a durable append that flushes and fsyncs, a binary bulk
+write (out of scope), a read-only open, and an annotated throwaway
+report.  Expected: no ATM findings.
+"""
+
+import json
+import os
+
+
+def save_atomic(path, payload):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def append_durable(path, row):
+    with open(path, "a") as fh:
+        fh.write(row + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def save_binary(path, blob):
+    with open(path, "wb") as fh:  # bulk array data goes through hdf5lite
+        fh.write(blob)
+
+
+def read_config(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def save_report(path, text):
+    with open(path, "w") as fh:  # noqa: ATM001 - throwaway report artifact
+        fh.write(text)

@@ -1,0 +1,44 @@
+"""Checks fixture: resource-lifecycle violations.
+
+Expected RES001: ``leak_on_return`` leaks its handle on both the
+return path and the exception path (two findings, one line);
+``leak_on_exception`` closes on the happy path but leaks when the read
+between open and close raises (one finding).  Expected RES002: a
+socket recv and a sleep inside ``with self._lock:``, plus a recv in a
+``# holds-lock`` method whose class declares guarded state (three
+findings).
+"""
+
+import threading
+import time
+
+
+def leak_on_return(path):
+    fh = open(path, "w")
+    fh.write("x")
+    return True
+
+
+def leak_on_exception(path):
+    fh = open(path)
+    text = fh.read()  # raises -> fh is still open on the exception edge
+    fh.close()
+    return text
+
+
+class ChannelMonitor:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.sock = None
+        self.rows = []  # guarded-by: _lock
+
+    def fetch(self):
+        with self._lock:
+            return self.sock.recv(1024)  # every contender stalls on the read
+
+    def nap(self):
+        with self._lock:
+            time.sleep(0.5)
+
+    def drain(self):  # holds-lock
+        return self.sock.recv(4096)

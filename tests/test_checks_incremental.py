@@ -1,0 +1,182 @@
+"""The incremental engine: cache priming, digest-driven re-analysis
+scope, byte-identical replay, engine-version invalidation, SARIF
+output, and the CLI's incremental-mode contract."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.checks.cache import ResultCache, engine_signature, module_digest
+from repro.checks.registry import all_analyzers
+
+ROOT = Path(__file__).resolve().parents[1]
+
+BUGGY_A = """
+    __all__ = ["save"]
+
+    def save(path, payload):
+        with open(path, "w") as fh:
+            fh.write(payload)
+"""
+CLEAN_B = """
+    from repro.a import save
+
+    __all__ = ["publish"]
+
+    def publish(path, payload):
+        return save(path, payload)
+"""
+CLEAN_C = """
+    __all__ = ["standalone"]
+
+    def standalone():
+        return 42
+"""
+
+
+@pytest.fixture
+def mini_repo(tmp_path):
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "a.py").write_text(textwrap.dedent(BUGGY_A))
+    (pkg / "b.py").write_text(textwrap.dedent(CLEAN_B))
+    (pkg / "c.py").write_text(textwrap.dedent(CLEAN_C))
+    return tmp_path
+
+
+def run_cli(root: Path, *args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.checks", "--root", str(root), *args],
+        capture_output=True, text=True, env=env, cwd=ROOT,
+    )
+
+
+def json_doc(proc: subprocess.CompletedProcess) -> dict:
+    assert proc.stdout, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_full_run_primes_cache_and_incremental_replays_it(mini_repo):
+    full = run_cli(mini_repo, "--json")
+    assert full.returncode == 1  # the seeded ATM001 is a new finding
+    assert (mini_repo / ".checks_cache.json").exists()
+
+    incr = run_cli(mini_repo, "--changed-since", "HEAD", "--json")
+    assert incr.returncode == 1
+    full_doc, incr_doc = json_doc(full), json_doc(incr)
+    # Unchanged tree: nothing re-analyzed, findings replay byte-for-byte.
+    assert incr_doc["incremental"]["modules_reanalyzed"] == []
+    assert incr_doc["incremental"]["modules_replayed"] == 3
+    assert json.dumps(incr_doc["findings"]) == json.dumps(full_doc["findings"])
+    assert [f["code"] for f in full_doc["findings"]] == ["ATM001"]
+
+
+def test_touching_one_module_reanalyzes_it_plus_dependents(mini_repo):
+    run_cli(mini_repo, "--json")
+    a = mini_repo / "src" / "repro" / "a.py"
+    a.write_text(a.read_text() + "\n# tweak\n")
+
+    incr = run_cli(mini_repo, "--changed-since", "HEAD", "--json")
+    doc = json_doc(incr)
+    # b imports a, so it rides along; c is untouched and replays.
+    assert doc["incremental"]["modules_reanalyzed"] == [
+        "src/repro/a.py", "src/repro/b.py",
+    ]
+    assert doc["incremental"]["modules_replayed"] == 1
+    assert [f["code"] for f in doc["findings"]] == ["ATM001"]
+
+
+def test_fixing_the_bug_clears_the_finding_incrementally(mini_repo):
+    run_cli(mini_repo, "--json")
+    a = mini_repo / "src" / "repro" / "a.py"
+    a.write_text(textwrap.dedent("""
+        import os
+
+        __all__ = ["save"]
+
+        def save(path, payload):
+            tmp = path + ".tmp"
+            with open(tmp, "w") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+    """))
+    incr = run_cli(mini_repo, "--changed-since", "HEAD", "--json")
+    assert incr.returncode == 0
+    assert json_doc(incr)["findings"] == []
+
+
+def test_engine_version_change_invalidates_cache(tmp_path):
+    analyzers = all_analyzers()
+    cache = ResultCache.load(tmp_path / "cache.json", analyzers)
+    cache.store("src/repro/a.py", module_digest("x = 1\n"), [])
+    cache.save()
+
+    reloaded = ResultCache.load(tmp_path / "cache.json", analyzers)
+    assert reloaded.fresh("src/repro/a.py", module_digest("x = 1\n"))
+
+    # Dropping an analyzer changes the engine signature -> cold cache.
+    stale = ResultCache.load(tmp_path / "cache.json", analyzers[:-1])
+    assert stale.modules == {}
+    assert engine_signature(analyzers) != engine_signature(analyzers[:-1])
+
+
+def test_stale_digest_is_not_fresh(tmp_path):
+    cache = ResultCache.load(tmp_path / "cache.json", all_analyzers())
+    cache.store("src/repro/a.py", module_digest("x = 1\n"), [])
+    assert not cache.fresh("src/repro/a.py", module_digest("x = 2\n"))
+    assert not cache.fresh("src/repro/missing.py", module_digest(""))
+
+
+def test_changed_since_rejects_filtered_runs(mini_repo):
+    proc = run_cli(mini_repo, "--changed-since", "HEAD", "--only", "ATM001")
+    assert proc.returncode == 2
+    assert "--changed-since" in proc.stderr
+
+
+def test_no_cache_skips_the_cache_file(mini_repo):
+    run_cli(mini_repo, "--no-cache", "--json")
+    assert not (mini_repo / ".checks_cache.json").exists()
+    # Filtered runs must not poison the cache either.
+    run_cli(mini_repo, "--only", "atomic-persistence", "--json")
+    assert not (mini_repo / ".checks_cache.json").exists()
+
+
+def test_only_accepts_individual_codes(mini_repo):
+    proc = run_cli(mini_repo, "--only", "ATM001", "--json")
+    assert proc.returncode == 1
+    assert [f["code"] for f in json_doc(proc)["findings"]] == ["ATM001"]
+
+
+def test_json_reports_per_analyzer_wall_time(mini_repo):
+    doc = json_doc(run_cli(mini_repo, "--json"))
+    timings = doc["timings_ms"]
+    names = {a.name for a in all_analyzers()}
+    assert set(timings) == names
+    assert all(isinstance(ms, (int, float)) and ms >= 0 for ms in timings.values())
+
+
+def test_sarif_output_shape(mini_repo):
+    sarif_path = mini_repo / "report.sarif"
+    proc = run_cli(mini_repo, "--sarif", str(sarif_path), "--json")
+    assert proc.returncode == 1
+    doc = json.loads(sarif_path.read_text())
+    assert doc["version"] == "2.1.0"
+    (run,) = doc["runs"]
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert "ATM001" in rule_ids
+    (result,) = run["results"]
+    assert result["ruleId"] == "ATM001"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/repro/a.py"
+    assert result["partialFingerprints"]["reproChecks/v1"]
